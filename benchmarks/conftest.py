@@ -1,0 +1,46 @@
+"""Shared fixtures and helpers for the benchmark harness.
+
+Every benchmark regenerates one artefact of the paper's evaluation
+(Appendices D and E, plus the theorem suite and shape-level performance
+profiles) and *asserts* the reproduced closed forms / outputs before timing
+anything, so `pytest benchmarks/ --benchmark-only` doubles as a full
+reproduction run.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import compile_systolic
+from repro.geometry import Point
+from repro.systolic import all_paper_designs
+
+
+def poly_inputs(n: int, seed: int = 0) -> dict:
+    return {
+        "a": {Point.of(i): (i * 7 + seed) % 13 - 6 for i in range(n + 1)},
+        "b": {Point.of(j): (j * 5 + seed) % 11 - 5 for j in range(n + 1)},
+        "c": 0,
+    }
+
+
+def matmul_inputs(n: int, seed: int = 0) -> dict:
+    rng = range(n + 1)
+    return {
+        "a": {Point.of(i, k): (3 * i + k + seed) % 9 - 4 for i in rng for k in rng},
+        "b": {Point.of(k, j): (k - 2 * j + seed) % 7 - 3 for k in rng for j in rng},
+        "c": 0,
+    }
+
+
+def inputs_for(exp_id: str, n: int, seed: int = 0) -> dict:
+    return poly_inputs(n, seed) if exp_id.startswith("D") else matmul_inputs(n, seed)
+
+
+@pytest.fixture(scope="session")
+def designs():
+    """exp id -> (source program, array, compiled SystolicProgram)."""
+    out = {}
+    for exp_id, prog, array in all_paper_designs():
+        out[exp_id] = (prog, array, compile_systolic(prog, array))
+    return out

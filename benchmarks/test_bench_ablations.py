@@ -1,0 +1,128 @@
+"""Ablation benchmarks for the design choices DESIGN.md calls out.
+
+* **Channel capacity** -- the paper treats a synchronous link as a size-1
+  buffer (Section 7.6); the simulator can also run pure rendezvous
+  (capacity 0) or deeper buffers.  Results must be identical; virtual-time
+  makespan is unaffected (it tracks data dependences), while wall-clock
+  simulation cost varies with the amount of parking/waking.
+* **Guard simplification** -- compiling with and without the
+  Fourier-Motzkin simplification pass: the pass costs compile time but
+  shrinks the case analyses (the paper's by-hand "optimisation before
+  translation").
+* **Partitioning** -- folding the E1 array onto 1..64 workers: monotone
+  makespan, identical results (the Section 8 "not enough processors"
+  scenario).
+"""
+
+import pytest
+
+from benchmarks.conftest import inputs_for, matmul_inputs
+from repro import compile_systolic, execute, run_sequential
+from repro.extensions import partitioned_execute
+from repro.systolic import all_paper_designs
+
+_DESIGNS = {exp: (prog, arr) for exp, prog, arr in all_paper_designs()}
+
+
+class TestCapacityAblation:
+    @pytest.mark.parametrize("capacity", [0, 1, 4])
+    def test_bench_capacity(self, benchmark, designs, capacity):
+        prog, array, sp = designs["D2"]
+        size = 6
+        inputs = inputs_for("D2", size)
+        oracle = run_sequential(prog, {"n": size}, inputs)
+        final, stats = benchmark(
+            lambda: execute(sp, {"n": size}, inputs, channel_capacity=capacity)
+        )
+        assert final == oracle
+
+    def test_capacity_does_not_change_makespan(self, designs):
+        """Virtual time tracks dependences, not buffering."""
+        prog, array, sp = designs["E2"]
+        size = 3
+        inputs = matmul_inputs(size)
+        spans = set()
+        for capacity in (0, 1, 2, 8):
+            _, stats = execute(sp, {"n": size}, inputs, channel_capacity=capacity)
+            spans.add(stats.makespan)
+        assert len(spans) == 1
+
+
+class TestSimplifyAblation:
+    @pytest.mark.parametrize("prune", [True, False])
+    def test_bench_simplify(self, benchmark, prune):
+        prog, arr = _DESIGNS["E2"]
+        sp = benchmark(compile_systolic, prog, arr, prune=prune)
+        assert sp.streams
+
+    def test_simplify_shrinks_case_analyses(self):
+        prog, arr = _DESIGNS["E2"]
+        raw = compile_systolic(prog, arr, prune=False)
+        slim = compile_systolic(prog, arr, prune=True)
+
+        def guard_atoms(pw):
+            total = 0
+            for case in pw.cases:
+                total += len(case.guard.constraints)
+            return total
+
+        for name in ("a", "b", "c"):
+            assert guard_atoms(slim.plan(name).first_s) <= guard_atoms(
+                raw.plan(name).first_s
+            )
+        # and the simplified D1 collapses fully
+        d_prog, d_arr = _DESIGNS["D1"]
+        d1 = compile_systolic(d_prog, d_arr)
+        from repro.symbolic import Piecewise
+
+        assert not isinstance(d1.plan("a").first_s.collapse(), Piecewise)
+
+    def test_semantics_unchanged_by_simplify(self, designs):
+        """Pruned and unpruned programs produce identical executions."""
+        prog, arr = _DESIGNS["D2"]
+        size = 4
+        inputs = inputs_for("D2", size)
+        raw = compile_systolic(prog, arr, prune=False)
+        slim = compile_systolic(prog, arr, prune=True)
+        final_raw, _ = execute(raw, {"n": size}, inputs)
+        final_slim, _ = execute(slim, {"n": size}, inputs)
+        assert final_raw == final_slim
+
+
+class TestPartitionAblation:
+    @pytest.mark.parametrize("workers", [1, 4, 16])
+    def test_bench_partitioned(self, benchmark, designs, workers):
+        prog, array, sp = designs["E1"]
+        size = 4
+        inputs = matmul_inputs(size)
+        oracle = run_sequential(prog, {"n": size}, inputs)
+        final, stats = benchmark(
+            lambda: partitioned_execute(sp, {"n": size}, inputs, workers=workers)
+        )
+        assert final == oracle
+
+    def test_partition_curve_shape(self, designs):
+        prog, array, sp = designs["E1"]
+        size = 4
+        inputs = matmul_inputs(size)
+        spans = []
+        for workers in (1, 2, 4, 8, 64):
+            _, stats = partitioned_execute(sp, {"n": size}, inputs, workers=workers)
+            spans.append(stats.makespan)
+        assert spans == sorted(spans, reverse=True)
+        # near-linear early scaling: doubling 1 -> 2 workers helps by > 25%
+        assert spans[1] < 0.75 * spans[0]
+
+    def test_block_vs_round_robin(self, designs):
+        """Both assignments preserve results; their folded makespans may
+        differ (locality), which is the point of the ablation."""
+        prog, array, sp = designs["E1"]
+        size = 3
+        inputs = matmul_inputs(size)
+        oracle = run_sequential(prog, {"n": size}, inputs)
+        for assignment in ("block", "round_robin"):
+            final, stats = partitioned_execute(
+                sp, {"n": size}, inputs, workers=4, assignment=assignment
+            )
+            assert final == oracle
+            assert stats.makespan > 0

@@ -1,0 +1,73 @@
+"""Experiment D1 -- Appendix D.1: polynomial product, place.(i,j) = i.
+
+Reproduces every closed form the paper prints for the first design and the
+final program's behaviour:
+
+* PS basis 0..n; increment (0,1); first (col,0); last (col,n); count n+1;
+* flows: a stationary, b = 1/2 (one latch per link), c = 1;
+* i/o repeaters {0 n 1}, {0 n 1}, {0 2n 1};
+* soak/drain: b 0/0, c col/(n-col); a loads n-col and recovers col;
+* end-to-end execution equal to the sequential oracle.
+"""
+
+from fractions import Fraction
+
+from benchmarks.conftest import poly_inputs
+from repro import compile_systolic, execute, run_sequential
+from repro.geometry import Point
+from repro.symbolic import Affine, AffineVec
+from repro.systolic import polynomial_product_program, polyprod_design_d1
+
+n = Affine.var("n")
+col = Affine.var("col")
+
+
+def check_d1_artifacts(sp) -> None:
+    assert sp.ps_min == AffineVec.of(0) and sp.ps_max == AffineVec.of(n)
+    assert sp.increment == Point.of(0, 1)
+    assert sp.simple
+    assert sp.first.collapse() == AffineVec.of(col, 0)
+    assert sp.last.collapse() == AffineVec.of(col, n)
+    assert sp.count.collapse() == n + 1
+
+    assert sp.plan("a").stationary
+    assert sp.plan("b").flow == Point.of(Fraction(1, 2))
+    assert sp.plan("b").internal_buffers() == 1
+    assert sp.plan("c").flow == Point.of(1)
+
+    assert sp.plan("a").first_s.collapse() == AffineVec.of(0)
+    assert sp.plan("a").last_s.collapse() == AffineVec.of(n)
+    assert sp.plan("c").last_s.collapse() == AffineVec.of(2 * n)
+
+    # soak/drain closed forms (D.1.5)
+    assert sp.plan("b").soak.collapse() == Affine.constant(0)
+    assert sp.plan("b").drain.collapse() == Affine.constant(0)
+    assert sp.plan("c").soak.collapse() == col
+    assert sp.plan("c").drain.collapse() == n - col
+    assert sp.plan("a").drain.collapse() == n - col  # loading passes
+    assert sp.plan("a").soak.collapse() == col  # recovery passes
+
+
+def test_bench_d1_compile(benchmark):
+    """Time the full symbolic derivation; assert the paper's closed forms."""
+    program = polynomial_product_program()
+    array = polyprod_design_d1()
+    sp = benchmark(compile_systolic, program, array)
+    check_d1_artifacts(sp)
+
+
+def test_bench_d1_execute(benchmark, designs):
+    """Time an n=8 execution; assert oracle equality each round."""
+    prog, array, sp = designs["D1"]
+    size = 8
+    inputs = poly_inputs(size)
+    oracle = run_sequential(prog, {"n": size}, inputs)
+
+    def run():
+        final, stats = execute(sp, {"n": size}, inputs)
+        return final, stats
+
+    final, stats = benchmark(run)
+    assert final == oracle
+    # shape: a linear array of n+1 processes finishing in O(n) virtual time
+    assert stats.makespan <= 14 * size

@@ -1,0 +1,79 @@
+"""Experiment D2 -- Appendix D.2: polynomial product, place.(i,j) = i + j.
+
+The non-simple design: two-alternative case analyses for first/last/count,
+a reversed i/o repeater {n 0 -1} for stream b, stationary c loaded from the
+left, and per-clause soak/drain code.
+"""
+
+from fractions import Fraction
+
+from benchmarks.conftest import poly_inputs
+from repro import compile_systolic, execute, run_sequential
+from repro.geometry import Point
+from repro.symbolic import Affine, AffineVec
+from repro.systolic import polynomial_product_program, polyprod_design_d2
+
+n = Affine.var("n")
+col = Affine.var("col")
+
+
+def check_d2_artifacts(sp) -> None:
+    assert sp.ps_min == AffineVec.of(0) and sp.ps_max == AffineVec.of(2 * n)
+    assert sp.increment == Point.of(1, -1)
+    assert not sp.simple
+
+    first_values = [c.value for c in sp.first.cases]
+    assert AffineVec.of(0, col) in first_values
+    assert AffineVec.of(col - n, n) in first_values
+    last_values = [c.value for c in sp.last.cases]
+    assert AffineVec.of(col, 0) in last_values
+    assert AffineVec.of(n, col - n) in last_values
+
+    # flows (D.2.3): a = 1, b = 1/2, c stationary
+    assert sp.plan("a").flow == Point.of(1)
+    assert sp.plan("b").flow == Point.of(Fraction(1, 2))
+    assert sp.plan("c").stationary
+
+    # i/o increments (D.2.4): 1, -1, loading vector 1
+    assert sp.plan("a").increment_s == Point.of(1)
+    assert sp.plan("b").increment_s == Point.of(-1)
+    assert sp.plan("c").increment_s == Point.of(1)
+
+    # repeaters {0 n 1}, {n 0 -1}, {0 2n 1}
+    assert sp.plan("b").first_s.collapse() == AffineVec.of(n)
+    assert sp.plan("b").last_s.collapse() == AffineVec.of(0)
+    assert sp.plan("c").last_s.collapse() == AffineVec.of(2 * n)
+
+    # per-clause soak/drain (D.2.5) -- checked pointwise over the array
+    size = 6
+    for c in range(2 * size + 1):
+        env = {"col": c, "n": size}
+        assert sp.plan("a").soak.evaluate(env) == (0 if c <= size else c - size)
+        assert sp.plan("a").drain.evaluate(env) == (size - c if c <= size else 0)
+        assert sp.plan("b").soak.evaluate(env) == (size - c if c <= size else 0)
+        assert sp.plan("b").drain.evaluate(env) == (0 if c <= size else c - size)
+        assert sp.plan("c").drain.evaluate(env) == 2 * size - c  # loading
+        assert sp.plan("c").soak.evaluate(env) == c  # recovery
+
+    # count (D.2.2): col+1 below the diagonal, 2n-col+1 above
+    assert sp.count.evaluate({"col": 2, "n": 6}) == 3
+    assert sp.count.evaluate({"col": 9, "n": 6}) == 4
+    assert sp.count.evaluate({"col": 6, "n": 6}) == 7
+
+
+def test_bench_d2_compile(benchmark):
+    program = polynomial_product_program()
+    array = polyprod_design_d2()
+    sp = benchmark(compile_systolic, program, array)
+    check_d2_artifacts(sp)
+
+
+def test_bench_d2_execute(benchmark, designs):
+    prog, array, sp = designs["D2"]
+    size = 8
+    inputs = poly_inputs(size, seed=2)
+    oracle = run_sequential(prog, {"n": size}, inputs)
+
+    final, stats = benchmark(lambda: execute(sp, {"n": size}, inputs))
+    assert final == oracle
+    assert stats.process_count > 2 * size  # 2n+1 computation processes

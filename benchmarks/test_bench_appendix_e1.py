@@ -1,0 +1,73 @@
+"""Experiment E1 -- Appendix E.1: matrix product, place.(i,j,k) = (i, j).
+
+The simple 2-d design ("collapse the inner loop"): stationary c with
+loading vector (1,0), moving a/b with no soaking or draining, and the
+summary table of E.1.4 for the i/o repeaters.
+"""
+
+from benchmarks.conftest import matmul_inputs
+from repro import compile_systolic, execute, run_sequential
+from repro.geometry import Point
+from repro.symbolic import Affine, AffineVec
+from repro.systolic import matmul_design_e1, matrix_product_program
+
+n = Affine.var("n")
+col = Affine.var("col")
+row = Affine.var("row")
+
+
+def check_e1_artifacts(sp) -> None:
+    assert sp.ps_min == AffineVec.of(0, 0)
+    assert sp.ps_max == AffineVec.of(n, n)
+    assert sp.increment == Point.of(0, 0, 1)
+    assert sp.simple
+    assert sp.first.collapse() == AffineVec.of(col, row, 0)
+    assert sp.last.collapse() == AffineVec.of(col, row, n)
+    assert sp.count.collapse() == n + 1
+
+    # flows (E.1.3)
+    assert sp.plan("a").flow == Point.of(0, 1)
+    assert sp.plan("b").flow == Point.of(1, 0)
+    assert sp.plan("c").stationary
+
+    # the E.1.4 summary table
+    assert sp.plan("a").increment_s == Point.of(0, 1)
+    assert sp.plan("b").increment_s == Point.of(1, 0)
+    assert sp.plan("c").increment_s == Point.of(1, 0)
+    assert sp.plan("a").first_s.collapse() == AffineVec.of(col, 0)
+    assert sp.plan("a").last_s.collapse() == AffineVec.of(col, n)
+    assert sp.plan("b").first_s.collapse() == AffineVec.of(0, row)
+    assert sp.plan("b").last_s.collapse() == AffineVec.of(n, row)
+    assert sp.plan("c").first_s.collapse() == AffineVec.of(0, row)
+    assert sp.plan("c").last_s.collapse() == AffineVec.of(n, row)
+
+    # E.1.5: no soaking or draining for the moving streams; c loads n-col
+    # and recovers col
+    assert sp.plan("a").soak.collapse() == Affine.constant(0)
+    assert sp.plan("a").drain.collapse() == Affine.constant(0)
+    assert sp.plan("b").soak.collapse() == Affine.constant(0)
+    assert sp.plan("b").drain.collapse() == Affine.constant(0)
+    assert sp.plan("c").drain.collapse() == n - col
+    assert sp.plan("c").soak.collapse() == col
+
+    # E.1.6: no buffers anywhere
+    assert all(p.internal_buffers() == 0 for p in sp.streams)
+
+
+def test_bench_e1_compile(benchmark):
+    program = matrix_product_program()
+    array = matmul_design_e1()
+    sp = benchmark(compile_systolic, program, array)
+    check_e1_artifacts(sp)
+
+
+def test_bench_e1_execute(benchmark, designs):
+    prog, array, sp = designs["E1"]
+    size = 5
+    inputs = matmul_inputs(size, seed=1)
+    oracle = run_sequential(prog, {"n": size}, inputs)
+
+    final, stats = benchmark(lambda: execute(sp, {"n": size}, inputs))
+    assert final == oracle
+    # (n+1)^2 computation processes, no buffers
+    assert stats.process_count == (size + 1) ** 2 + 3 * 2 * (size + 1)

@@ -1,0 +1,114 @@
+"""Experiment E2 -- Appendix E.2: the Kung-Leiserson array,
+place.(i,j,k) = (i-k, j-k).
+
+The hardest design in the paper: three-alternative case analyses, a
+hexagonal computation space strictly inside the square process space
+(external corner buffers), two families of i/o processes for stream c with
+corner deduplication, and nested per-clause soak/drain code.
+"""
+
+import pytest
+
+from benchmarks.conftest import matmul_inputs
+from repro import compile_systolic, execute, run_sequential
+from repro.geometry import Point
+from repro.symbolic import Affine, AffineVec
+from repro.systolic import matmul_design_e2, matrix_product_program
+
+n = Affine.var("n")
+col = Affine.var("col")
+row = Affine.var("row")
+
+
+def check_e2_artifacts(sp) -> None:
+    # E.2.1: basis (-n,-n)..(n,n)
+    assert sp.ps_min == AffineVec.of(-n, -n)
+    assert sp.ps_max == AffineVec.of(n, n)
+    # E.2.2: increment (1,1,1), three alternatives for first and last
+    assert sp.increment == Point.of(1, 1, 1)
+    assert not sp.simple
+    first_values = [c.value for c in sp.first.cases]
+    assert AffineVec.of(0, row - col, -col) in first_values
+    assert AffineVec.of(col - row, 0, -row) in first_values
+    assert AffineVec.of(col, row, 0) in first_values
+    last_values = [c.value for c in sp.last.cases]
+    assert AffineVec.of(n, row - col + n, n - col) in last_values
+    assert AffineVec.of(col - row + n, n, n - row) in last_values
+    assert AffineVec.of(col + n, row + n, n) in last_values
+
+    # E.2.3: flows (0,1), (1,0), (-1,-1); everything moves
+    assert sp.plan("a").flow == Point.of(0, 1)
+    assert sp.plan("b").flow == Point.of(1, 0)
+    assert sp.plan("c").flow == Point.of(-1, -1)
+    assert not any(p.stationary for p in sp.streams)
+
+    # E.2.4: all stream increments are (1,1); two faces per endpoint
+    for name in ("a", "b", "c"):
+        assert sp.plan(name).increment_s == Point.of(1, 1)
+    size = 4
+    assert sp.plan("a").first_s.evaluate({"col": -2, "row": 0, "n": size}) == Point.of(0, 2)
+    assert sp.plan("a").first_s.evaluate({"col": 2, "row": 0, "n": size}) == Point.of(2, 0)
+    assert sp.plan("a").last_s.evaluate({"col": -2, "row": 0, "n": size}) == Point.of(2, 4)
+    assert sp.plan("b").first_s.evaluate({"col": 0, "row": 2, "n": size}) == Point.of(0, 2)
+    assert sp.plan("c").first_s.evaluate({"col": 1, "row": 3, "n": size}) == Point.of(0, 2)
+    # null pipe for c through the far corner
+    assert sp.plan("c").first_s.evaluate({"col": 4, "row": -4, "n": size}) is None
+
+    # E.2.6: corner buffers pass n+col+1 / n-col+1 of a, symmetric for b,
+    # and nothing of c
+    env = {"col": -1, "row": 3, "n": 3}
+    assert not sp.in_computation_space(Point.of(-1, 3), {"n": 3})
+    assert sp.plan("a").pass_amount.evaluate(env) == 3
+    assert sp.plan("b").pass_amount.evaluate(env) == 1
+    assert sp.plan("c").pass_amount.evaluate(env) is None
+
+
+def check_e2_propagation(sp) -> None:
+    """soak + count + drain == pipe length over the whole hexagon."""
+    size = 3
+    ps = sp.process_space({"n": size})
+    for y in ps:
+        binding = sp.bind(y, {"n": size})
+        count = sp.count.evaluate(binding)
+        if count is None:
+            continue
+        for plan in sp.streams:
+            soak = plan.soak.evaluate(binding)
+            drain = plan.drain.evaluate(binding)
+            total = plan.pass_amount.evaluate(binding)
+            assert soak + count + drain == total, (y, plan.name)
+
+
+def test_bench_e2_compile(benchmark):
+    program = matrix_product_program()
+    array = matmul_design_e2()
+    sp = benchmark(compile_systolic, program, array)
+    check_e2_artifacts(sp)
+    check_e2_propagation(sp)
+
+
+def test_bench_e2_execute(benchmark, designs):
+    prog, array, sp = designs["E2"]
+    size = 4
+    inputs = matmul_inputs(size, seed=7)
+    oracle = run_sequential(prog, {"n": size}, inputs)
+
+    final, stats = benchmark(lambda: execute(sp, {"n": size}, inputs))
+    assert final == oracle
+    side = 2 * size + 1
+    hexagon = side * side - size * (size + 1)
+    # hexagon computes; the rest of the square buffers (one process/stream)
+    assert stats.process_count >= hexagon
+
+
+@pytest.mark.parametrize("capacity", [0, 1])
+def test_bench_e2_capacity(benchmark, designs, capacity):
+    """Pure rendezvous vs size-1 links: same results, measurable timing."""
+    prog, array, sp = designs["E2"]
+    size = 3
+    inputs = matmul_inputs(size, seed=5)
+    oracle = run_sequential(prog, {"n": size}, inputs)
+    final, _ = benchmark(
+        lambda: execute(sp, {"n": size}, inputs, channel_capacity=capacity)
+    )
+    assert final == oracle

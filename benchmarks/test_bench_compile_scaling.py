@@ -1,0 +1,54 @@
+"""Experiment X1 -- compile-time scaling.
+
+The paper reports no compile times (1991 hardware); the reproduction
+measures the cost of the symbolic derivation itself: parsing, validation,
+face solving, guard pruning.  Shape expectations: compilation cost is
+independent of the problem size (everything is symbolic) and grows with the
+structural complexity of the design (simple < non-simple; r=2 < r=3).
+"""
+
+import pytest
+
+from repro import compile_systolic, parse_program
+from repro.systolic import all_paper_designs
+
+_DESIGNS = {exp: (prog, arr) for exp, prog, arr in all_paper_designs()}
+
+
+@pytest.mark.parametrize("exp_id", ["D1", "D2", "E1", "E2"])
+def test_bench_compile(benchmark, exp_id):
+    prog, arr = _DESIGNS[exp_id]
+    sp = benchmark(compile_systolic, prog, arr)
+    assert sp.streams
+
+
+def test_bench_parse(benchmark):
+    from repro.systolic.designs import MATMUL_SOURCE
+
+    program = benchmark(parse_program, MATMUL_SOURCE)
+    assert program.r == 3
+
+
+def test_bench_compile_without_simplify(benchmark):
+    """The guard-simplification pass dominates; measure the raw derivation."""
+    prog, arr = _DESIGNS["E2"]
+    sp = benchmark(compile_systolic, prog, arr, prune=False)
+    assert not sp.simple
+
+
+def test_bench_synthesis(benchmark):
+    """Bounded-search step synthesis for the matmul program."""
+    from repro.systolic import synthesize_step
+
+    prog, _ = _DESIGNS["E1"]
+    steps = benchmark(synthesize_step, prog, bound=1)
+    assert steps
+
+
+def test_compile_cost_independent_of_problem_size(designs):
+    """Symbolic compilation never touches a concrete size: the same object
+    serves every n (sanity assertion, not a timing)."""
+    _prog, _arr, sp = designs["E2"]
+    small = sp.process_space({"n": 1}).size
+    large = sp.process_space({"n": 10}).size
+    assert small < large  # same compiled object instantiates at any size

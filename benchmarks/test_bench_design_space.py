@@ -1,0 +1,36 @@
+"""Experiment X4 -- design-space exploration cost.
+
+"Once step has been derived, many different place functions are possible"
+(Section 3.2).  Benchmarks the exhaustive enumerate-compile-cost sweep the
+library adds on top of the paper, and asserts the qualitative ranking the
+paper's own two Appendix-E designs illustrate: the compact stationary-
+accumulator grid is cheaper in cells than the all-moving hexagon.
+"""
+
+from repro.geometry import Matrix
+from repro.systolic import explore_designs, matrix_product_program, polynomial_product_program
+
+
+def test_bench_explore_polyprod(benchmark):
+    prog = polynomial_product_program()
+    costs = benchmark(explore_designs, prog, Matrix([[2, 1]]), {"n": 4}, bound=1)
+    assert costs
+    row_sets = {frozenset(c.place.rows) for c in costs}
+    assert frozenset({(1, 0)}) in row_sets  # D.1
+    assert frozenset({(1, 1)}) in row_sets  # D.2
+
+
+def test_bench_explore_matmul(benchmark):
+    prog = matrix_product_program()
+    costs = benchmark.pedantic(
+        explore_designs,
+        args=(prog, Matrix([[1, 1, 1]]), {"n": 3}),
+        kwargs={"bound": 1},
+        rounds=2,
+        iterations=1,
+    )
+    assert len(costs) > 50
+    by_rows = {frozenset(c.place.rows): c for c in costs}
+    e1 = by_rows[frozenset({(1, 0, 0), (0, 1, 0)})]
+    e2 = by_rows[frozenset({(1, 0, -1), (0, 1, -1)})]
+    assert e1.total_cells < e2.total_cells

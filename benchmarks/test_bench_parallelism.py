@@ -1,0 +1,49 @@
+"""Experiment X2 -- parallelism shape.
+
+The paper's qualitative claim: the generated asynchronous programs realise
+the parallelism of the synchronous systolic array.  Checked shapes:
+
+* the simulator's critical path (virtual-time makespan) grows *linearly*
+  in n while sequential work grows as n^2 (polyprod) / n^3 (matmul);
+* speedup over sequential execution therefore grows with n;
+* the observed makespan stays within a constant factor of the ideal
+  synchronous makespan (max step - min step + 1).
+"""
+
+import pytest
+
+from benchmarks.conftest import inputs_for
+from repro import execute, run_sequential
+from repro.analysis import format_table, parallelism_profile
+
+
+@pytest.mark.parametrize("exp_id", ["D1", "E1", "E2"])
+def test_bench_parallelism_shape(benchmark, designs, exp_id):
+    prog, array, sp = designs[exp_id]
+    sizes = (2, 4, 8) if exp_id.startswith("D") else (2, 3, 4)
+    rows = []
+
+    def profile_all():
+        rows.clear()
+        for size in sizes:
+            inputs = inputs_for(exp_id, size)
+            final, stats = execute(sp, {"n": size}, inputs)
+            assert final == run_sequential(prog, {"n": size}, inputs)
+            rows.append(parallelism_profile(sp, {"n": size}, stats))
+        return rows
+
+    profiles = benchmark.pedantic(profile_all, rounds=2, iterations=1)
+    print()
+    print(format_table([p.row() for p in profiles], title=f"{exp_id} parallelism"))
+
+    speedups = [p.speedup for p in profiles]
+    assert speedups == sorted(speedups), "speedup must grow with n"
+    for p in profiles:
+        # linear-in-n critical path: within a constant factor of the
+        # synchronous makespan (the factor covers per-hop send+recv cost
+        # and pipeline fill/drain)
+        assert p.observed_makespan <= 8 * p.synchronous_makespan
+
+    # superlinear work over linear time: the largest size must beat the
+    # smallest by a clear margin
+    assert speedups[-1] > 1.5 * speedups[0]

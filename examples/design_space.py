@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Exploring the matrix-product design space.
+
+"Once [step] has been derived, many different place functions are possible"
+(Section 3.2).  The paper hand-derives two; this example enumerates and
+costs *every* place the scheme can compile at coefficient bound 1, locates
+the paper's two designs inside the space, then executes the cheapest design
+and the Kung-Leiserson design side by side.
+
+Run:  python examples/design_space.py
+"""
+
+from repro import compile_systolic, execute, matrix_product_program, run_sequential
+from repro.analysis import format_table, parallelism_profile
+from repro.geometry import Matrix, Point
+from repro.systolic import SystolicArray, explore_designs
+from repro.verify import random_inputs
+
+
+def main() -> None:
+    program = matrix_product_program()
+    step = Matrix([[1, 1, 1]])
+    env = {"n": 3}
+
+    costs = explore_designs(program, step, env, bound=1)
+    print(f"{len(costs)} compilable place functions for step (1,1,1), n=3")
+    print()
+    print(format_table([c.row() for c in costs[:10]], title="ten cheapest designs"))
+    print()
+
+    by_rows = {frozenset(c.place.rows): c for c in costs}
+    e1 = by_rows[frozenset({(1, 0, 0), (0, 1, 0)})]
+    e2 = by_rows[frozenset({(1, 0, -1), (0, 1, -1)})]
+    print("the paper's designs inside the space:")
+    print(format_table([{"design": "E.1", **e1.row()}, {"design": "E.2", **e2.row()}]))
+    print()
+
+    # execute the cheapest design and the Kung-Leiserson array side by side
+    cheapest = costs[0]
+    loading = {}
+    base = SystolicArray(step=step, place=cheapest.place)
+    from repro.systolic import is_stationary, stream_flow
+
+    for s in program.streams:
+        if is_stationary(stream_flow(base, s)):
+            loading[s.name] = Point.unit(2, 0)
+    picks = [
+        SystolicArray(step=step, place=cheapest.place, loading_vectors=loading,
+                      name="cheapest"),
+        SystolicArray(step=step, place=Matrix([[1, 0, -1], [0, 1, -1]]),
+                      name="Kung-Leiserson"),
+    ]
+    rows = []
+    inputs = random_inputs(program, env, seed=1)
+    oracle = run_sequential(program, env, inputs)
+    for array in picks:
+        sp = compile_systolic(program, array)
+        final, stats = execute(sp, env, inputs)
+        assert final == oracle
+        rows.append({"design": array.name, **parallelism_profile(sp, env, stats).row()})
+    print(format_table(rows, title="executed head to head (both oracle-verified)"))
+
+
+if __name__ == "__main__":
+    main()

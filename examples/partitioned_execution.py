@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""Folding a systolic program onto a machine with few processors.
+
+The abstract programs spawn one process per process-space point; real 1991
+machines had 4 transputers or 24 Symult nodes (paper, Section 8).  This
+example folds the Kung-Leiserson matrix-product array onto machines of
+1..64 workers with the two classic assignment shapes and reports the
+folded makespans -- results are bit-identical at every width, only time
+changes.
+
+Run:  python examples/partitioned_execution.py
+"""
+
+from repro import compile_systolic, matrix_product_program, run_sequential
+from repro.analysis import format_table
+from repro.extensions import partitioned_execute
+from repro.systolic import matmul_design_e2
+from repro.verify import random_inputs
+
+
+def main() -> None:
+    program = matrix_product_program()
+    design = matmul_design_e2()
+    systolic = compile_systolic(program, design)
+
+    n = 4
+    inputs = random_inputs(program, {"n": n}, seed=42)
+    oracle = run_sequential(program, {"n": n}, inputs)
+
+    rows = []
+    for assignment in ("block", "round_robin"):
+        for workers in (1, 2, 4, 8, 24, 64, 256):
+            final, stats = partitioned_execute(
+                systolic, {"n": n}, inputs, workers=workers, assignment=assignment
+            )
+            assert final == oracle, "the fold must never change results"
+            rows.append(
+                {
+                    "assignment": assignment,
+                    "workers": workers,
+                    "makespan": stats.makespan,
+                    "processes": stats.process_count,
+                }
+            )
+
+    print(format_table(rows, title=f"Kung-Leiserson n={n} on finite machines"))
+    print()
+    print("All runs verified against the sequential oracle.  The makespan")
+    print("falls monotonically and saturates at the dataflow critical path.")
+    print("Round-robin beats block tiling at middle widths: at any instant")
+    print("the busy processes form an anti-diagonal wavefront, which a")
+    print("contiguous tile maps onto few workers while interleaving spreads")
+    print("it evenly -- the classic LSGP/LPGS trade-off, measured.")
+
+
+if __name__ == "__main__":
+    main()

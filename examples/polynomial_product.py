@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Appendix D end to end: both polynomial-product designs.
+
+Reproduces the paper's two derivations for the same source program --
+``place.(i,j) = i`` (D.1, a simple place: one loop parallelized) and
+``place.(i,j) = i + j`` (D.2, non-simple: guarded case analyses appear) --
+prints the derived artefacts side by side, and executes both on the
+simulator against real polynomial coefficients.
+
+Run:  python examples/polynomial_product.py
+"""
+
+from repro import (
+    compile_systolic,
+    execute,
+    polynomial_product_program,
+    polyprod_design_d1,
+    polyprod_design_d2,
+)
+from repro.analysis import format_table, parallelism_profile
+from repro.geometry import Point
+
+
+def coefficients(n: int) -> dict:
+    """f(x) = 1 + 2x + ... , g(x) = 1 - x + x^2 - ..."""
+    return {
+        "a": {Point.of(i): i + 1 for i in range(n + 1)},
+        "b": {Point.of(j): (-1) ** j for j in range(n + 1)},
+        "c": 0,
+    }
+
+
+def reference_product(n: int) -> list[int]:
+    a = [i + 1 for i in range(n + 1)]
+    b = [(-1) ** j for j in range(n + 1)]
+    c = [0] * (2 * n + 1)
+    for i in range(n + 1):
+        for j in range(n + 1):
+            c[i + j] += a[i] * b[j]
+    return c
+
+
+def main() -> None:
+    program = polynomial_product_program()
+    rows = []
+    for design in (polyprod_design_d1(), polyprod_design_d2()):
+        systolic = compile_systolic(program, design)
+        print("=" * 70)
+        print(systolic.summary())
+        print("-- first --")
+        print(systolic.first)
+        print("-- count --")
+        print(systolic.count)
+        for plan in systolic.streams:
+            print(f"-- {plan.name}: i/o repeater {plan.pipe_repeater()}")
+
+        for n in (4, 8, 16):
+            final, stats = execute(systolic, {"n": n}, coefficients(n))
+            got = [final["c"][Point.of(k)] for k in range(2 * n + 1)]
+            assert got == reference_product(n), f"{design.name} wrong at n={n}"
+            profile = parallelism_profile(systolic, {"n": n}, stats)
+            rows.append({"design": design.name, **profile.row()})
+
+    print()
+    print(format_table(rows, title="polynomial product: both designs verified"))
+    print("\nNote the shape: D.2 uses 2n+1 processes against D.1's n+1, and")
+    print("both makespans grow linearly in n while sequential work grows as n^2.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Cross-correlating two signals on a systolic correlator array.
+
+A workload shape none of the paper's appendices covers: the result variable
+is indexed by the *difference* of the loop indices (the lag), so with
+``place.(i,j) = i - j`` each process owns one lag's accumulator while the
+two signals stream through in opposite directions -- the classic systolic
+correlator.  We use it to locate a known pattern inside a noisy signal by
+the peak of the cross-correlation, verified against NumPy.
+
+Run:  python examples/signal_correlation.py
+"""
+
+import numpy as np
+
+from repro import compile_systolic
+from repro.geometry import Point
+from repro.runtime import execute
+from repro.systolic import correlation_design, correlation_program
+
+
+def main() -> None:
+    program = correlation_program()
+    design = correlation_design()
+    systolic = compile_systolic(program, design)
+    print(systolic.summary())
+    print()
+
+    # A pattern hidden at offset 5 of a noisy signal (integer arithmetic --
+    # the simulator is exact).
+    rng = np.random.default_rng(7)
+    n = 15
+    pattern = np.array([3, -1, 4, -1, 5, -2, 6, 0, 0, 0, 0, 0, 0, 0, 0, 0])
+    signal = rng.integers(-2, 3, size=n + 1)
+    offset = 5
+    signal[offset : offset + 7] += pattern[:7] * 3
+
+    inputs = {
+        "x": {Point.of(i): int(signal[i]) for i in range(n + 1)},
+        "y": {Point.of(j): int(pattern[j]) for j in range(n + 1)},
+        "r": 0,
+    }
+    final, stats = execute(systolic, {"n": n}, inputs)
+
+    lags = range(-n, n + 1)
+    got = {lag: final["r"][Point.of(lag)] for lag in lags}
+
+    expected = {}
+    for lag in lags:
+        expected[lag] = sum(
+            int(signal[i]) * int(pattern[i - lag])
+            for i in range(n + 1)
+            if 0 <= i - lag <= n
+        )
+    assert got == expected, "systolic correlation differs from direct computation"
+
+    # numpy cross-check on the positive lags
+    full = np.correlate(signal, pattern, mode="full")
+    # np.correlate index: lag = i - (len(pattern) - 1) reading right-to-left
+    for lag in lags:
+        assert got[lag] == full[lag + n]
+
+    peak = max(got, key=got.get)
+    print(f"{stats.process_count} processes, makespan {stats.makespan}")
+    print(f"correlation peak at lag {peak} (pattern was injected at offset {offset})")
+    assert peak == offset
+    print("verified against direct computation and numpy.correlate")
+
+
+if __name__ == "__main__":
+    main()

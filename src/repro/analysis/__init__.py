@@ -1,0 +1,27 @@
+"""Execution analysis: parallelism metrics and report formatting."""
+
+from repro.analysis.metrics import (
+    sequential_operation_count,
+    synchronous_makespan,
+    parallelism_profile,
+    ParallelismProfile,
+)
+from repro.analysis.report import format_table
+from repro.analysis.wavefront import (
+    synchronous_wavefronts,
+    render_wavefront_grid,
+    render_wavefront_film,
+    activity_histogram,
+)
+
+__all__ = [
+    "sequential_operation_count",
+    "synchronous_makespan",
+    "parallelism_profile",
+    "ParallelismProfile",
+    "format_table",
+    "synchronous_wavefronts",
+    "render_wavefront_grid",
+    "render_wavefront_film",
+    "activity_histogram",
+]

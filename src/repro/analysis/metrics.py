@@ -1,0 +1,92 @@
+"""Parallelism metrics.
+
+The paper's claim is qualitative: systolic programs extract the optimal
+parallelism the ``step`` function encodes.  These metrics quantify that on
+the simulator:
+
+* **sequential operation count** -- ``|IS|``: the work a single processor
+  performs;
+* **synchronous makespan** -- the span of ``step`` over the index space:
+  the execution time of the ideal synchronous array;
+* **observed makespan** -- the simulator's virtual-time critical path,
+  which adds the i/o fill/drain of the pipelines;
+* **speedup / efficiency** -- sequential work over observed makespan, raw
+  and per process.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.core.program import SystolicProgram
+from repro.lang.program import SourceProgram
+from repro.runtime.scheduler import SchedulerStats
+from repro.symbolic.affine import Numeric
+from repro.systolic.spec import SystolicArray
+
+
+def sequential_operation_count(
+    program: SourceProgram, env: Mapping[str, Numeric]
+) -> int:
+    """``|IS|``: the number of basic statements executed sequentially."""
+    return program.index_space(env).size
+
+
+def synchronous_makespan(
+    program: SourceProgram, array: SystolicArray, env: Mapping[str, Numeric]
+) -> int:
+    """``max step - min step + 1`` over the index space (corners suffice)."""
+    corners = list(program.index_space(env).corners())
+    values = [array.step_of(c) for c in corners]
+    return int(max(values) - min(values)) + 1
+
+
+@dataclass(frozen=True)
+class ParallelismProfile:
+    """One row of the parallelism benchmark."""
+
+    env: dict
+    sequential_ops: int
+    synchronous_makespan: int
+    observed_makespan: int
+    processes: int
+    messages: int
+
+    @property
+    def speedup(self) -> float:
+        """Sequential work over the observed critical path."""
+        return self.sequential_ops / max(1, self.observed_makespan)
+
+    @property
+    def efficiency(self) -> float:
+        """Speedup per process (1.0 = perfectly busy array)."""
+        return self.speedup / max(1, self.processes)
+
+    def row(self) -> dict:
+        return {
+            **self.env,
+            "seq_ops": self.sequential_ops,
+            "sync_makespan": self.synchronous_makespan,
+            "observed_makespan": self.observed_makespan,
+            "processes": self.processes,
+            "messages": self.messages,
+            "speedup": round(self.speedup, 2),
+            "efficiency": round(self.efficiency, 3),
+        }
+
+
+def parallelism_profile(
+    sp: SystolicProgram,
+    env: Mapping[str, Numeric],
+    stats: SchedulerStats,
+) -> ParallelismProfile:
+    """Combine static and simulated metrics for one execution."""
+    return ParallelismProfile(
+        env=dict(env),
+        sequential_ops=sequential_operation_count(sp.source, env),
+        synchronous_makespan=synchronous_makespan(sp.source, sp.array, env),
+        observed_makespan=stats.makespan,
+        processes=stats.process_count,
+        messages=stats.total_messages,
+    )

@@ -1,0 +1,24 @@
+"""Plain-text table formatting for the benchmark harness."""
+
+from __future__ import annotations
+
+from typing import Any, Mapping, Sequence
+
+
+def format_table(rows: Sequence[Mapping[str, Any]], title: str | None = None) -> str:
+    """Align a list of homogeneous dict rows into a fixed-width table."""
+    if not rows:
+        return (title + "\n" if title else "") + "(no rows)"
+    columns = list(rows[0].keys())
+    widths = {
+        c: max(len(str(c)), *(len(str(r.get(c, ""))) for r in rows)) for c in columns
+    }
+    lines = []
+    if title:
+        lines.append(title)
+    header = "  ".join(str(c).rjust(widths[c]) for c in columns)
+    lines.append(header)
+    lines.append("  ".join("-" * widths[c] for c in columns))
+    for r in rows:
+        lines.append("  ".join(str(r.get(c, "")).rjust(widths[c]) for c in columns))
+    return "\n".join(lines)

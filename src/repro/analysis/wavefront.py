@@ -1,0 +1,103 @@
+"""Text visualisation of execution wavefronts.
+
+Renders (a) the synchronous wavefront of a design -- which processes of a
+2-d array execute a basic statement at each step, computed exactly from
+``step``/``place`` -- and (b) an activity histogram over virtual time from
+a runtime trace.  Both are plain text so they live happily in terminals,
+logs and docstrings, like the paper's own figures would have.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Mapping
+
+from repro.core.program import SystolicProgram
+from repro.geometry.point import Point
+from repro.runtime.trace import Trace
+from repro.symbolic.affine import Numeric
+from repro.util.errors import ReproError
+
+
+def synchronous_wavefronts(
+    sp: SystolicProgram, env: Mapping[str, Numeric]
+) -> dict[int, list[Point]]:
+    """step value -> processes executing a basic statement at that step."""
+    out: dict[int, list[Point]] = defaultdict(list)
+    for x in sp.source.index_space(env):
+        out[int(sp.array.step_of(x))].append(sp.array.place_of(x))
+    return {k: sorted(v) for k, v in sorted(out.items())}
+
+
+def render_wavefront_grid(
+    sp: SystolicProgram, env: Mapping[str, Numeric], step: int
+) -> str:
+    """An ASCII picture of a 1-d or 2-d process space at one step.
+
+    ``#`` executes a basic statement at this step, ``.`` is idle
+    computation space, `` `` (blank) is outside the computation space.
+    """
+    dim = len(sp.coords)
+    if dim not in (1, 2):
+        raise ReproError(f"can only draw 1-d or 2-d process spaces, got {dim}-d")
+    active = set(synchronous_wavefronts(sp, env).get(step, []))
+    space = sp.process_space(env)
+    lines: list[str] = []
+    if dim == 1:
+        row_chars = []
+        for c in range(int(space.lo[0]), int(space.hi[0]) + 1):
+            y = Point.of(c)
+            if y in active:
+                row_chars.append("#")
+            elif sp.in_computation_space(y, env):
+                row_chars.append(".")
+            else:
+                row_chars.append(" ")
+        lines.append("".join(row_chars))
+    else:
+        for r in range(int(space.hi[1]), int(space.lo[1]) - 1, -1):
+            row_chars = []
+            for c in range(int(space.lo[0]), int(space.hi[0]) + 1):
+                y = Point.of(c, r)
+                if y in active:
+                    row_chars.append("#")
+                elif sp.in_computation_space(y, env):
+                    row_chars.append(".")
+                else:
+                    row_chars.append(" ")
+            lines.append("".join(row_chars))
+    return "\n".join(lines)
+
+
+def render_wavefront_film(
+    sp: SystolicProgram, env: Mapping[str, Numeric], *, max_frames: int = 6
+) -> str:
+    """Several consecutive wavefront frames, labelled by step number."""
+    fronts = synchronous_wavefronts(sp, env)
+    steps = list(fronts)
+    if len(steps) > max_frames:
+        stride = max(1, len(steps) // max_frames)
+        steps = steps[::stride][:max_frames]
+    blocks = []
+    for s in steps:
+        blocks.append(f"step {s}:")
+        blocks.append(render_wavefront_grid(sp, env, s))
+    return "\n".join(blocks)
+
+
+def activity_histogram(trace: Trace, *, width: int = 60, bins: int = 20) -> str:
+    """Events per virtual-time bin, as an ASCII bar chart."""
+    if not trace.events:
+        return "(no events)"
+    span = max(1, trace.makespan)
+    counts = [0] * bins
+    for e in trace.events:
+        idx = min(bins - 1, (e.clock - 1) * bins // span)
+        counts[idx] += 1
+    peak = max(counts)
+    lines = []
+    for i, c in enumerate(counts):
+        bar = "#" * (c * width // peak if peak else 0)
+        lo = i * span // bins
+        lines.append(f"t={lo:>4} |{bar} {c}")
+    return "\n".join(lines)

@@ -1,0 +1,212 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Subcommands
+-----------
+
+``compile``     parse a source file + design spec, print the derived program
+                (summary, paper notation, occam or C flavour);
+``verify``      compile, execute on the simulator at given sizes and compare
+                against the sequential oracle;
+``synthesize``  derive step/place candidates from the dependences and print
+                the design space;
+``designs``     list the built-in catalogue.
+
+A *design spec* is a JSON file::
+
+    {
+      "step":  [[2, 1]],
+      "place": [[1, 0]],
+      "loading": {"a": [1]},     // loading & recovery vectors (optional)
+      "name": "D.1"              // optional
+    }
+
+Problem sizes are given as ``name=value`` pairs, e.g. ``-s n=8``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.core.scheme import compile_systolic
+from repro.geometry.linalg import Matrix
+from repro.geometry.point import Point
+from repro.lang.parser import parse_program
+from repro.systolic.schedule import makespan, synthesize_places, synthesize_step
+from repro.systolic.spec import SystolicArray
+from repro.target.build import build_target_program
+from repro.target.cgen import render_c
+from repro.target.occam import render_occam
+from repro.target.pretty import render_paper
+from repro.util.errors import ReproError
+from repro.verify.equivalence import verify_design
+
+_RENDERERS = {"paper": render_paper, "occam": render_occam, "c": render_c}
+
+
+def load_design(path: str) -> SystolicArray:
+    """Read a design-spec JSON file into a :class:`SystolicArray`."""
+    data = json.loads(Path(path).read_text())
+    loading = {
+        name: Point(vec) for name, vec in (data.get("loading") or {}).items()
+    }
+    return SystolicArray(
+        step=Matrix(data["step"]),
+        place=Matrix(data["place"]),
+        loading_vectors=loading,
+        name=data.get("name", Path(path).stem),
+    )
+
+
+def parse_sizes(pairs: list[str]) -> dict[str, int]:
+    env: dict[str, int] = {}
+    for pair in pairs:
+        if "=" not in pair:
+            raise ReproError(f"size must be name=value, got {pair!r}")
+        name, _, value = pair.partition("=")
+        env[name.strip()] = int(value)
+    return env
+
+
+def cmd_compile(args: argparse.Namespace) -> int:
+    program = parse_program(Path(args.source).read_text())
+    array = load_design(args.design)
+    systolic = compile_systolic(program, array)
+    print(systolic.summary())
+    if args.emit != "none":
+        print()
+        print(_RENDERERS[args.emit](build_target_program(systolic)))
+    return 0
+
+
+def cmd_verify(args: argparse.Namespace) -> int:
+    program = parse_program(Path(args.source).read_text())
+    array = load_design(args.design)
+    systolic = compile_systolic(program, array)
+    env = parse_sizes(args.size)
+    report = verify_design(
+        program,
+        array,
+        env,
+        compiled=systolic,
+        seed=args.seed,
+        channel_capacity=args.capacity,
+        raise_on_mismatch=False,
+    )
+    print(report)
+    for mismatch in report.mismatches[:10]:
+        print(" ", mismatch)
+    return 0 if report.matched else 1
+
+
+def cmd_synthesize(args: argparse.Namespace) -> int:
+    program = parse_program(Path(args.source).read_text())
+    steps = synthesize_step(program, bound=args.bound)
+    env = {s: 4 for s in _size_symbols(program)}
+    print(f"{len(steps)} minimal-makespan step candidate(s) at bound {args.bound}:")
+    for step in steps:
+        print(f"  step {step.rows[0]}  makespan {makespan(program, step, env)}")
+    step = steps[0]
+    places = synthesize_places(program, step, bound=1)
+    print(f"\n{len(places)} compatible place(s) for step {step.rows[0]} at bound 1")
+    for place in places[: args.limit]:
+        print(f"  place rows {place.rows}")
+    if len(places) > args.limit:
+        print(f"  ... and {len(places) - args.limit} more (raise --limit)")
+    return 0
+
+
+def cmd_explore(args: argparse.Namespace) -> int:
+    from repro.analysis.report import format_table
+    from repro.systolic.explore import explore_designs
+
+    program = parse_program(Path(args.source).read_text())
+    steps = synthesize_step(program, bound=args.bound)
+    step = steps[0]
+    env = parse_sizes(args.size) or {s: 4 for s in _size_symbols(program)}
+    costs = explore_designs(program, step, env, bound=1, limit=args.limit)
+    print(f"step {step.rows[0]}, costs at {env}:")
+    print(format_table([c.row() for c in costs]))
+    return 0
+
+
+def cmd_designs(args: argparse.Namespace) -> int:
+    from repro.systolic.designs import all_paper_designs
+
+    for exp_id, program, array in all_paper_designs():
+        print(f"{exp_id}: {program.name}  --  {array.name}")
+        print(f"    step {array.step.rows[0]}, place rows {array.place.rows}")
+    return 0
+
+
+def _size_symbols(program) -> set[str]:
+    syms = set(program.size_symbols)
+    for lp in program.loops:
+        syms |= lp.lower.free_symbols | lp.upper.free_symbols
+    return syms
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Systolizing compilation scheme (Barnett & Lengauer 1991)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("compile", help="compile and print a systolic program")
+    p.add_argument("source", help="source program file")
+    p.add_argument("design", help="design-spec JSON file")
+    p.add_argument(
+        "--emit",
+        choices=["paper", "occam", "c", "none"],
+        default="paper",
+        help="target notation (default: paper)",
+    )
+    p.set_defaults(func=cmd_compile)
+
+    p = sub.add_parser("verify", help="execute on the simulator vs the oracle")
+    p.add_argument("source")
+    p.add_argument("design")
+    p.add_argument(
+        "-s", "--size", action="append", default=[], help="problem size name=value"
+    )
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--capacity", type=int, default=1, help="channel capacity")
+    p.set_defaults(func=cmd_verify)
+
+    p = sub.add_parser("synthesize", help="derive step/place candidates")
+    p.add_argument("source")
+    p.add_argument("--bound", type=int, default=2, help="coefficient bound")
+    p.add_argument("--limit", type=int, default=8, help="places to print")
+    p.set_defaults(func=cmd_synthesize)
+
+    p = sub.add_parser("explore", help="cost the bounded place design space")
+    p.add_argument("source")
+    p.add_argument("--bound", type=int, default=2, help="step coefficient bound")
+    p.add_argument(
+        "-s", "--size", action="append", default=[], help="problem size name=value"
+    )
+    p.add_argument("--limit", type=int, default=12, help="rows to print")
+    p.set_defaults(func=cmd_explore)
+
+    p = sub.add_parser("designs", help="list the built-in catalogue")
+    p.set_defaults(func=cmd_designs)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except BrokenPipeError:  # piping into head etc.
+        return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

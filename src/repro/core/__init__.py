@@ -1,0 +1,53 @@
+"""The systolizing compilation scheme (Sections 6-7) -- the paper's core.
+
+Given a validated source program and a consistent systolic array, derive:
+
+* the process-space basis ``PS_min``/``PS_max`` (7.1),
+* ``increment`` (7.2.1),
+* ``first``/``last``/``count`` for the computation repeaters, by symbolic
+  face solving, including the simple-place special case (7.2.2-7.2.3),
+* the i/o process layout (7.3),
+* the i/o repeaters ``first_s``/``last_s``/``increment_s`` (7.4, Eqs. 6-7),
+* soak/drain (= recovery/loading) amounts (7.5, Eqs. 8-9),
+* internal and external buffer requirements (7.6, Eq. 10),
+
+assembled into a :class:`~repro.core.program.SystolicProgram` -- a fully
+symbolic distributed program, parameterised by the problem-size symbols and
+the process-space coordinates.
+"""
+
+from repro.core.repeater import Repeater, affine_vector_quotient
+from repro.core.basis import process_space_basis, process_space_guard, concrete_process_space
+from repro.core.increment import derive_increment
+from repro.core.firstlast import derive_first, derive_last, derive_count, is_simple_place
+from repro.core.io_layout import io_axes, io_boundary_sides, concrete_io_points
+from repro.core.io_comm import derive_stream_increment, derive_io_endpoint
+from repro.core.propagation import derive_soak, derive_drain
+from repro.core.buffers import derive_pass_amount, internal_buffer_count
+from repro.core.program import StreamPlan, SystolicProgram
+from repro.core.scheme import compile_systolic
+
+__all__ = [
+    "Repeater",
+    "affine_vector_quotient",
+    "process_space_basis",
+    "process_space_guard",
+    "concrete_process_space",
+    "derive_increment",
+    "derive_first",
+    "derive_last",
+    "derive_count",
+    "is_simple_place",
+    "io_axes",
+    "io_boundary_sides",
+    "concrete_io_points",
+    "derive_stream_increment",
+    "derive_io_endpoint",
+    "derive_soak",
+    "derive_drain",
+    "derive_pass_amount",
+    "internal_buffer_count",
+    "StreamPlan",
+    "SystolicProgram",
+    "compile_systolic",
+]

@@ -1,0 +1,64 @@
+"""The process space basis (Sections 6.1 and 7.1).
+
+``PS_min.i = (min x : x in IS : place.x.i)`` and symmetrically for
+``PS_max``.  Because the index space is a convex (rectangular) domain and
+``place`` is linear, each component attains its extremum at a vertex picked
+by the *signs of the coefficients*: coordinate ``j`` contributes ``lb_j``
+when the coefficient of ``x_j`` in component ``i`` of ``place`` is positive
+and ``rb_j`` when it is negative (vice versa for the maximum) -- at most
+``r - 1`` symbolic evaluations in total, exactly as Section 7.1 prescribes.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.geometry.point import Point
+from repro.geometry.rectangle import Rectangle
+from repro.lang.program import SourceProgram
+from repro.symbolic.affine import Affine, AffineVec, Numeric
+from repro.symbolic.guard import Constraint, Guard
+from repro.systolic.spec import SystolicArray
+
+
+def process_space_basis(
+    program: SourceProgram, array: SystolicArray
+) -> tuple[AffineVec, AffineVec]:
+    """``(PS_min, PS_max)`` as affine vectors in the problem-size symbols."""
+    mins: list[Affine] = []
+    maxs: list[Affine] = []
+    for i in range(array.place.nrows):
+        lo = Affine.constant(0)
+        hi = Affine.constant(0)
+        for j, loop in enumerate(program.loops):
+            coeff = array.place[i, j]
+            if coeff > 0:
+                lo = lo + loop.lower * coeff
+                hi = hi + loop.upper * coeff
+            elif coeff < 0:
+                lo = lo + loop.upper * coeff
+                hi = hi + loop.lower * coeff
+        mins.append(lo)
+        maxs.append(hi)
+    return AffineVec(mins), AffineVec(maxs)
+
+
+def process_space_guard(
+    ps_min: AffineVec, ps_max: AffineVec, coords: Sequence[str]
+) -> Guard:
+    """The guard ``PS_min.i <= y.i <= PS_max.i`` over coordinate symbols."""
+    constraints = []
+    for name, lo, hi in zip(coords, ps_min, ps_max):
+        y = Affine.var(name)
+        constraints.append(Constraint.ge(y, lo))
+        constraints.append(Constraint.le(y, hi))
+    return Guard(constraints)
+
+
+def concrete_process_space(
+    ps_min: AffineVec, ps_max: AffineVec, env: Mapping[str, Numeric]
+) -> Rectangle:
+    """The process space ``PS`` at a concrete problem size."""
+    lo = Point(a.evaluate_int(env) for a in ps_min)
+    hi = Point(a.evaluate_int(env) for a in ps_max)
+    return Rectangle(lo, hi)

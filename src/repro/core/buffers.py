@@ -1,0 +1,54 @@
+"""Buffer processes (Sections 6.6 and 7.6).
+
+Two kinds:
+
+* **Internal buffers** -- a stream with fractional flow ``y/n`` travels
+  slower than one process hop per step; in hardware extra latches absorb
+  the elements in transit.  Here, since the synchronous communication link
+  itself provides a buffer of size 1, ``n - 1`` explicit buffer processes
+  are interposed on every channel of that stream.
+
+* **External buffers** -- the points of ``PS \\ CS`` execute no basic
+  statements but must transport stream elements between the boundary i/o
+  processes and the computation space.  A point is outside ``CS`` exactly
+  when the disjunction of the guards of ``first`` fails (they are defined
+  precisely on ``CS``).  Each such buffer passes along the *whole* pipe:
+
+      ((last_s - first_s) // increment_s) + 1           (10)
+
+  evaluated piecewise; a null ``first_s`` (pipe misses the variable) means
+  the buffer passes nothing for that stream -- Appendix E.2.6 observes that
+  the Kung-Leiserson corner buffers move only streams ``a`` and ``b``.
+"""
+
+from __future__ import annotations
+
+from repro.geometry.point import Point
+from repro.symbolic.piecewise import Case, Piecewise
+from repro.util.errors import CompilationError
+
+
+def internal_buffer_count(flow_denominator: int) -> int:
+    """Buffers interposed per channel: ``n - 1`` for flow ``y/n``."""
+    if flow_denominator < 1:
+        raise CompilationError(f"bad flow denominator {flow_denominator}")
+    return flow_denominator - 1
+
+
+def derive_pass_amount(
+    first_s: Piecewise,
+    last_s: Piecewise,
+    increment_s: Point,
+) -> Piecewise:
+    """Eq. 10: the pipe length, one alternative per feasible face pair."""
+    from repro.core.repeater import affine_vector_quotient
+
+    cases: list[Case] = []
+    for fc in first_s.cases:
+        for lc in last_s.cases:
+            guard = fc.guard.and_(lc.guard)
+            if guard.is_trivially_false:
+                continue
+            amount = affine_vector_quotient(lc.value - fc.value, increment_s) + 1
+            cases.append(Case(guard, amount))
+    return Piecewise.with_null_default(cases)

@@ -1,0 +1,213 @@
+"""Deriving ``first``, ``last`` and ``count`` (Sections 7.2.2-7.2.3).
+
+Each process ``y`` executes the chord ``{x in IS : place.x = y}``; ``first``
+is its end of minimal step value, ``last`` the maximal one.  With the
+``increment``-component restriction (Appendix A.2) both ends lie on *faces*
+of the index space: the boundaries of the dimensions where ``increment`` is
+non-zero.
+
+For ``first`` at face ``i``, the pinned bound is the *left* bound when
+``increment.i > 0`` and the right bound otherwise; for ``last`` the roles
+swap.  Pinning coordinate ``i`` leaves the ``(r-1) x (r-1)`` system
+
+    place.(x; i: bound_i) = y
+
+whose coefficient matrix is ``place`` with column ``i`` dropped -- always
+invertible when ``increment.i != 0`` (if it were singular, its kernel would
+inject into ``null.place`` with a zero ``i``-th component, forcing
+``increment.i = 0``).  The symbolic solution gives both the expression and,
+substituted into the bounds of the remaining loops, the guard: the "shadow"
+of the face in the process space.
+
+The *simple* special case (7.2.3): when ``increment = +-e_i`` **and** the
+remaining columns of ``place`` form a signed permutation, ``place`` merely
+projects away axis ``i``; then ``CS = PS``, a single unguarded expression
+covers every process, and there are no null processes.  (The paper infers
+simplicity from ``increment`` alone; the signed-permutation condition is
+the precise requirement for ``place`` to map the rectangular index space
+*onto* a rectangle, which is what "no guards needed" relies on.)
+"""
+
+from __future__ import annotations
+
+from typing import Literal, Sequence
+
+from repro.geometry.linalg import Matrix, solve_unique
+from repro.geometry.point import Point
+from repro.lang.program import SourceProgram
+from repro.symbolic.affine import Affine, AffineVec
+from repro.symbolic.guard import Constraint, Guard
+from repro.symbolic.piecewise import Case, Piecewise
+from repro.systolic.spec import SystolicArray
+from repro.util.errors import CompilationError
+
+Kind = Literal["first", "last"]
+
+
+def is_simple_place(array: SystolicArray, increment: Point) -> bool:
+    """True iff the place function is *simple* (Section 7.2.3).
+
+    ``increment`` must be a signed unit vector, and the matrix left after
+    dropping the collapsed column must be a signed permutation (one ``+-1``
+    per row and per column, zeros elsewhere).
+    """
+    nonzero = [i for i, c in enumerate(increment) if c != 0]
+    if len(nonzero) != 1 or abs(increment[nonzero[0]]) != 1:
+        return False
+    reduced = array.place.drop_column(nonzero[0])
+    n = reduced.nrows
+    if reduced.ncols != n:
+        return False
+    col_used = [False] * n
+    for i in range(n):
+        row_nonzero = [j for j in range(n) if reduced[i, j] != 0]
+        if len(row_nonzero) != 1:
+            return False
+        j = row_nonzero[0]
+        if abs(reduced[i, j]) != 1 or col_used[j]:
+            return False
+        col_used[j] = True
+    return True
+
+
+def _face_bound(program: SourceProgram, axis: int, inc_component, kind: Kind) -> Affine:
+    """The pinned bound of the face in dimension ``axis``."""
+    loop = program.loops[axis]
+    positive = inc_component > 0
+    if kind == "last":
+        positive = not positive
+    return loop.lower if positive else loop.upper
+
+
+def _solve_face(
+    program: SourceProgram,
+    array: SystolicArray,
+    axis: int,
+    bound: Affine,
+    coords: Sequence[str],
+) -> tuple[AffineVec, Guard]:
+    """Solve ``place.(x; axis: bound) = y`` symbolically.
+
+    Returns the full ``r``-vector solution and the face's shadow guard.
+    """
+    r = program.r
+    y = [Affine.var(c) for c in coords]
+    reduced = array.place.drop_column(axis)
+    rhs = [
+        y[k] - bound * array.place[k, axis] for k in range(r - 1)
+    ]
+    solution = solve_unique(reduced, rhs)  # Affine entries
+    components: list[Affine] = []
+    guards: list[Constraint] = []
+    sol_iter = iter(solution)
+    for j in range(r):
+        if j == axis:
+            components.append(bound)
+            continue
+        e_j = next(sol_iter)
+        components.append(e_j)
+        loop = program.loops[j]
+        guards.append(Constraint.ge(e_j, loop.lower))
+        guards.append(Constraint.le(e_j, loop.upper))
+    return AffineVec(components), Guard(guards)
+
+
+def check_integral_solutions(array: SystolicArray, increment: Point) -> None:
+    """Reject designs whose face systems have non-integer solutions.
+
+    The paper lists "non-integer solutions to the linear equations" among
+    the restrictions to be lifted in future work (Section 8).  Precisely:
+    the face system ``place.(x; i: bound) = y`` has an integral solution for
+    *every* integral ``y`` in the face's shadow iff the reduced matrix
+    (place without column ``i``) is unimodular.  A non-unimodular face means
+    ``place`` maps the index-space lattice onto a proper sublattice --
+    guard-satisfying processes with *empty* chords appear and the derived
+    endpoints go fractional, so such designs are outside the scheme.
+    """
+    from repro.util.errors import RestrictionViolation
+
+    for axis, comp in enumerate(increment):
+        if comp == 0:
+            continue
+        det = array.place.drop_column(axis).determinant()
+        if abs(det) != 1:
+            raise RestrictionViolation(
+                f"face {axis}: reduced place matrix has determinant {det}; "
+                "the face equations would have non-integer solutions "
+                "(restriction deferred to future work in Section 8)"
+            )
+
+
+def _derive_endpoint(
+    program: SourceProgram,
+    array: SystolicArray,
+    increment: Point,
+    coords: Sequence[str],
+    kind: Kind,
+) -> Piecewise:
+    faces = [i for i, c in enumerate(increment) if c != 0]
+    if not faces:
+        raise CompilationError("increment is the zero vector")
+    check_integral_solutions(array, increment)
+
+    if is_simple_place(array, increment):
+        axis = faces[0]
+        bound = _face_bound(program, axis, increment[axis], kind)
+        expr, _guard = _solve_face(program, array, axis, bound, coords)
+        # CS = PS: one expression, no guards, no null processes (7.2.3).
+        return Piecewise.single(expr)
+
+    cases: list[Case] = []
+    for axis in faces:
+        bound = _face_bound(program, axis, increment[axis], kind)
+        expr, guard = _solve_face(program, array, axis, bound, coords)
+        cases.append(Case(guard, expr))
+    return Piecewise.with_null_default(cases)
+
+
+def derive_first(
+    program: SourceProgram,
+    array: SystolicArray,
+    increment: Point,
+    coords: Sequence[str],
+) -> Piecewise:
+    """``first`` as a case analysis of affine vectors over ``coords``."""
+    return _derive_endpoint(program, array, increment, coords, "first")
+
+
+def derive_last(
+    program: SourceProgram,
+    array: SystolicArray,
+    increment: Point,
+    coords: Sequence[str],
+) -> Piecewise:
+    """``last``: as ``first`` with left and right bounds interchanged."""
+    return _derive_endpoint(program, array, increment, coords, "last")
+
+
+def derive_count(
+    first: Piecewise,
+    last: Piecewise,
+    increment: Point,
+    assumptions: Guard | None = None,
+) -> Piecewise:
+    """``count = ((last - first) // increment) + 1`` (Eq. 4), piecewise.
+
+    In general the guards of ``first`` and ``last`` differ, so the result
+    has up to ``|first| * |last|`` alternatives (Appendix E.2.2 notes six
+    for the Kung-Leiserson design); infeasible combinations are pruned.
+    """
+    from repro.core.repeater import affine_vector_quotient
+
+    cases: list[Case] = []
+    for fc in first.cases:
+        for lc in last.cases:
+            guard = fc.guard.and_(lc.guard)
+            if not guard.feasible(assumptions):
+                continue
+            value = affine_vector_quotient(lc.value - fc.value, increment) + 1
+            cases.append(Case(guard, value))
+    has_default = first.has_default or last.has_default
+    if has_default:
+        return Piecewise.with_null_default(cases)
+    return Piecewise(cases)

@@ -1,0 +1,48 @@
+"""Deriving ``increment`` (Section 7.2.1).
+
+``increment`` is the unit distance between consecutive basic statements of
+one process: pick any ``w`` in ``null.place``, reduce by the gcd of its
+components (Theorem 7's corollary) and orient it so that
+``step.increment > 0`` (Theorem 6)::
+
+    increment = sgn.(step.w) * (1/k) * w ,   k = gcd of |w.i|
+
+``step.w = 0`` is impossible for a consistent array (Theorem 3).  The
+scheme additionally restricts every component of ``increment`` to
+``{-1, 0, +1}`` (Appendix A.2): this is what guarantees that ``first`` and
+``last`` lie *on* boundaries of the index space rather than merely near
+them (Section 6.2's note describes the general case as future work).
+"""
+
+from __future__ import annotations
+
+from repro.geometry.point import Point, gcd_reduce, sgn
+from repro.systolic.spec import SystolicArray
+from repro.util.errors import InconsistentDistributionError, RestrictionViolation
+
+
+def derive_increment(array: SystolicArray, *, enforce_restriction: bool = True) -> Point:
+    """The constant vector ``increment`` in ``Z^r``.
+
+    Raises :class:`InconsistentDistributionError` when ``step`` vanishes on
+    the null space of ``place`` (Eq. 1 violated), and
+    :class:`RestrictionViolation` when a component falls outside
+    ``{-1, 0, +1}`` (unless ``enforce_restriction`` is disabled, for callers
+    that only want to *inspect* the vector).
+    """
+    w = array.null_place()
+    unit, _ = gcd_reduce(w)
+    step_w = array.step.apply_point(unit)[0]
+    if step_w == 0:
+        raise InconsistentDistributionError(
+            f"step vanishes on null.place = {unit}; step and place are "
+            "inconsistent (Theorem 3)"
+        )
+    increment = unit * sgn(step_w)
+    if enforce_restriction and any(abs(c) > 1 for c in increment):
+        raise RestrictionViolation(
+            f"increment {increment} has components outside {{-1, 0, +1}}; the "
+            "scheme's first/last construction requires boundary intersections "
+            "(Appendix A.2; general case is the paper's future work)"
+        )
+    return increment

@@ -1,0 +1,122 @@
+"""I/O process communications (Sections 6.4 and 7.4).
+
+The elements an i/o process feeds into (or extracts from) one pipeline lie
+on a line in the variable space ``VS.v`` whose direction is
+
+    increment_s = M . increment                       (Theorem 11)
+
+-- a constant, because ``increment`` is.  For a stationary stream the
+loading & recovery vector plays the role of ``increment_s`` (Appendix
+D.1.4).  ``first_s`` is the intersection of that line with the upstream
+face of ``VS.v``, and ``last_s`` with the downstream face:
+
+    first_s = M.x - ((M.x.i - first_s.i) / increment_s.i) * increment_s   (6)
+    last_s  = M.x + ((last_s.i  - M.x.i) / increment_s.i) * increment_s   (7)
+
+where ``x`` is *any* basic statement of the pipe (any clause of ``first``
+works: two clauses differ by a multiple of ``null.place`` pointwise, whose
+``M``-image is parallel to ``increment_s`` and is annihilated by the
+projection -- the paper verifies this concretely in E.1.4).  One alternative
+arises per face of ``VS.v`` not parallel to ``increment_s``; the guards come
+from substituting the solution into the variable's bounds.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Literal
+
+from repro.geometry.linalg import Matrix
+from repro.geometry.point import Point
+from repro.lang.stream import Stream
+from repro.symbolic.affine import Affine, AffineVec
+from repro.symbolic.guard import Constraint, Guard
+from repro.symbolic.piecewise import Case, Piecewise
+from repro.systolic.spec import SystolicArray
+from repro.util.errors import CompilationError
+
+
+def derive_stream_increment(
+    stream: Stream, increment: Point, array: SystolicArray
+) -> Point:
+    """``increment_s = M . increment`` (Theorem 11); for a stationary stream
+    the loading & recovery vector takes over this role (Appendix D.1.4).
+
+    Refinement over the paper: a stationary stream's index map satisfies
+    ``M = A . place`` for an invertible ``A`` (both annihilate exactly
+    ``null.place``), so one loading *hop* ``h`` in the process space shifts
+    the element identity by ``A . h = M . dx`` where ``place . dx = h`` --
+    not necessarily by ``h`` itself.  In every design of the paper ``A`` is
+    the identity and the two coincide; the general computation keeps the
+    scheme sound for stationary streams whose map differs from ``place`` by
+    a non-trivial change of basis.
+    """
+    m_inc = stream.index_map.apply_point(increment)
+    if not m_inc.is_zero:
+        return m_inc
+    h = array.loading_vector(stream.name)
+    # Solve place . dx = h.  The solution is unique modulo span(increment),
+    # and M annihilates increment, so M . dx is well-defined; pin the free
+    # degree of freedom by appending the increment row (independent of the
+    # place rows since increment spans null.place).
+    square = Matrix(list(array.place.rows) + [tuple(increment)])
+    rhs = [Fraction(c) for c in h] + [Fraction(0)]
+    from repro.geometry.linalg import solve_unique
+
+    dx = solve_unique(square, rhs)
+    element_step = stream.index_map.apply_point(Point(dx))
+    if not element_step.is_integral:
+        raise CompilationError(
+            f"stream {stream.name}: loading vector {h} shifts element "
+            f"identities by the non-integral {element_step}; choose a "
+            "loading & recovery vector aligned with the variable's lattice"
+        )
+    return element_step
+
+
+def _representative_statement(first: Piecewise) -> AffineVec:
+    """Any clause of ``first`` (the choice is immaterial; see module doc)."""
+    for case in first.cases:
+        if isinstance(case.value, AffineVec):
+            return case.value
+    raise CompilationError("first has no affine alternatives")
+
+
+def derive_io_endpoint(
+    stream: Stream,
+    increment_s: Point,
+    first: Piecewise,
+    kind: Literal["first", "last"],
+) -> Piecewise:
+    """``first_s`` or ``last_s`` as a case analysis over the process space.
+
+    Leaves are :class:`AffineVec` points of ``VS.v``; the default is null
+    (an i/o process whose pipe carries no elements of the variable performs
+    null communications, Appendix E.2.7).
+    """
+    x = _representative_statement(first)
+    m_x = AffineVec(stream.index_map.apply(list(x)))
+    variable = stream.variable
+    cases: list[Case] = []
+    for axis, comp in enumerate(increment_s):
+        if comp == 0:
+            continue
+        lo, hi = variable.bounds[axis]
+        if kind == "first":
+            pinned = lo if comp > 0 else hi
+            scale = (m_x[axis] - pinned) / comp
+            value = m_x - AffineVec.from_point(increment_s) * scale
+        else:
+            pinned = hi if comp > 0 else lo
+            scale = (pinned - m_x[axis]) / comp
+            value = m_x + AffineVec.from_point(increment_s) * scale
+        constraints = []
+        for j, (lo_j, hi_j) in enumerate(variable.bounds):
+            constraints.append(Constraint.ge(value[j], lo_j))
+            constraints.append(Constraint.le(value[j], hi_j))
+        cases.append(Case(Guard(constraints), value))
+    if not cases:
+        raise CompilationError(
+            f"stream {stream.name}: increment_s is the zero vector"
+        )
+    return Piecewise.with_null_default(cases)

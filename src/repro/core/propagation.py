@@ -1,0 +1,88 @@
+"""Soaking and draining (Sections 6.5 and 7.5).
+
+Each computation process must help move elements it does not itself use:
+those arriving before its first used element are *soaked* (received and
+passed on), those after its last are *drained*:
+
+    soak_s  = (M.first - first_s) // increment_s        (8)
+    drain_s = (last_s  - M.last ) // increment_s        (9)
+
+Both are exact symbolic vector quotients -- the operands are parallel by
+construction (``M.first`` and ``first_s`` lie on the same ``increment_s``
+line of ``VS.v``).
+
+For stationary streams the same formulas give loading and recovery: the
+number of elements passed on while *loading* equals ``drain_s`` and while
+*recovering* equals ``soak_s`` (Section 6.5) -- the FIFO protocol keeps one
+loop specification for both directions.
+
+Since ``first`` and ``first_s`` are both case analyses, the result nests:
+one outer alternative per clause of ``first``, one inner alternative per
+face of ``first_s`` -- exactly the shape of the soak/drain code in the
+Kung-Leiserson program of Appendix E.2.7.  Vacuous inner alternatives can
+be removed with :meth:`Piecewise.prune` (the paper does this by hand).
+"""
+
+from __future__ import annotations
+
+from repro.geometry.point import Point
+from repro.lang.stream import Stream
+from repro.symbolic.affine import AffineVec
+from repro.symbolic.piecewise import Case, Piecewise
+from repro.util.errors import CompilationError
+
+
+def _propagation(
+    stream: Stream,
+    endpoint: Piecewise,
+    io_endpoint: Piecewise,
+    increment_s: Point,
+    *,
+    io_minus_m: bool,
+) -> Piecewise:
+    from repro.core.repeater import affine_vector_quotient
+
+    outer_cases: list[Case] = []
+    for clause in endpoint.cases:
+        if not isinstance(clause.value, AffineVec):
+            raise CompilationError("endpoint clause is not an affine vector")
+        m_point = AffineVec(stream.index_map.apply(list(clause.value)))
+        inner_cases: list[Case] = []
+        for io_case in io_endpoint.cases:
+            if io_minus_m:
+                num = io_case.value - m_point
+            else:
+                num = m_point - io_case.value
+            amount = affine_vector_quotient(num, increment_s)
+            inner_cases.append(Case(io_case.guard, amount))
+        inner = Piecewise.with_null_default(inner_cases)
+        outer_cases.append(Case(clause.guard, inner))
+    if endpoint.has_default:
+        return Piecewise.with_null_default(outer_cases)
+    return Piecewise(outer_cases)
+
+
+def derive_soak(
+    stream: Stream,
+    first: Piecewise,
+    first_s: Piecewise,
+    increment_s: Point,
+) -> Piecewise:
+    """Eq. 8: elements passed on before the first used one arrives.
+
+    For a stationary stream this is also the *recovery* pass count.
+    """
+    return _propagation(stream, first, first_s, increment_s, io_minus_m=False)
+
+
+def derive_drain(
+    stream: Stream,
+    last: Piecewise,
+    last_s: Piecewise,
+    increment_s: Point,
+) -> Piecewise:
+    """Eq. 9: elements passed on after the last used one.
+
+    For a stationary stream this is also the *loading* pass count.
+    """
+    return _propagation(stream, last, last_s, increment_s, io_minus_m=True)

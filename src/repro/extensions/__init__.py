@@ -1,0 +1,30 @@
+"""Extensions beyond the paper's core scheme.
+
+Section 8 lists the refinements "actual machines impose": partitioning when
+there are not enough processors [23], re-routing, projection.  This package
+implements the first as an execution-model extension
+(:mod:`repro.extensions.partition`): virtual processes are assigned to a
+finite set of physical workers and the virtual-time accounting serializes
+each worker, quantifying how the generated programs degrade when folded
+onto a smaller machine.
+"""
+
+from repro.extensions.pipelining import (
+    PipelinedProgram,
+    LiftedStream,
+    pipeline_program,
+)
+from repro.extensions.partition import (
+    block_assignment,
+    round_robin_assignment,
+    partitioned_execute,
+)
+
+__all__ = [
+    "PipelinedProgram",
+    "LiftedStream",
+    "pipeline_program",
+    "block_assignment",
+    "round_robin_assignment",
+    "partitioned_execute",
+]

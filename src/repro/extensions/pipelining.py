@@ -1,0 +1,181 @@
+"""Pipelining under-rank streams (the Note in Section 3.1).
+
+The scheme requires every index map to have rank ``r - 1``: full pipelining.
+The paper notes that "streams whose index maps in the source program have
+less than r-1 dimensions in their range are given extra indices during the
+derivation of the systolic array, which enforce the required pipelining"
+(crediting Bu & Deprettere [2]).  This module implements that lift for
+*read-only* streams:
+
+* a stream ``w`` with a ``d x r`` index map of rank ``d < r - 1`` gains
+  ``r - 1 - d`` extra index rows, chosen from the unit loop-index rows so
+  that the extended map reaches rank ``r - 1``;
+* its variable gains the matching dimensions (bounds copied from the loops
+  providing the rows), and the host input is *broadcast* along them;
+* the body is unchanged -- stream reads are by name.
+
+The lifted program satisfies the rank requirement and compiles with the
+ordinary scheme; since the stream is read-only, every broadcast copy stays
+equal to the original element, so results project back exactly.  Lifting a
+*written* under-rank stream would need a reduction over the copies -- the
+paper handles those by splitting (LDU-decomposition example in [2]) and so
+do we not: a :class:`RestrictionViolation` explains.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.geometry.linalg import Matrix
+from repro.geometry.point import Point
+from repro.lang.expr import RuntimeValue
+from repro.lang.program import SourceProgram
+from repro.lang.stream import Stream
+from repro.lang.variables import IndexedVariable
+from repro.symbolic.affine import Numeric
+from repro.util.errors import RestrictionViolation, SourceProgramError
+
+
+@dataclass(frozen=True)
+class LiftedStream:
+    """How one stream was pipelined."""
+
+    name: str
+    original_dim: int
+    added_axes: tuple[int, ...]  # loop axes providing the new index rows
+
+
+@dataclass(frozen=True)
+class PipelinedProgram:
+    """The lifted program plus the input/output adaptors."""
+
+    original: SourceProgram
+    program: SourceProgram
+    lifts: tuple[LiftedStream, ...]
+
+    def expand_inputs(
+        self,
+        env: Mapping[str, Numeric],
+        inputs: Mapping[str, Mapping[Point, RuntimeValue] | int],
+    ) -> dict:
+        """Broadcast each lifted variable's values along its new axes."""
+        lifted_by_name = {l.name: l for l in self.lifts}
+        out: dict = {}
+        for stream in self.program.streams:
+            name = stream.name
+            spec = inputs.get(name, 0)
+            lift = lifted_by_name.get(name)
+            if lift is None or not isinstance(spec, Mapping):
+                out[name] = spec
+                continue
+            space = stream.variable.space(env)
+            source = {Point(k): v for k, v in spec.items()}
+            expanded = {}
+            for p in space:
+                base = Point(p[: lift.original_dim])
+                if base not in source:
+                    raise SourceProgramError(
+                        f"{name}: no input value for original element {base}"
+                    )
+                expanded[p] = source[base]
+            out[name] = expanded
+        return out
+
+    def project_outputs(self, final: Mapping[str, Mapping[Point, RuntimeValue]]) -> dict:
+        """Collapse lifted variables back to their original shape.
+
+        Read-only lifted streams must have all broadcast copies equal; a
+        disagreement indicates a runtime bug and raises.
+        """
+        lifted_by_name = {l.name: l for l in self.lifts}
+        out: dict = {}
+        for name, values in final.items():
+            lift = lifted_by_name.get(name)
+            if lift is None:
+                out[name] = dict(values)
+                continue
+            projected: dict[Point, RuntimeValue] = {}
+            for p, v in values.items():
+                base = Point(p[: lift.original_dim])
+                if base in projected and projected[base] != v:
+                    raise SourceProgramError(
+                        f"{name}: broadcast copies of {base} disagree "
+                        f"({projected[base]} vs {v})"
+                    )
+                projected[base] = v
+            out[name] = projected
+        return out
+
+
+def _extended_rank(rows: list[tuple[int, ...]]) -> int:
+    return Matrix(rows).rank
+
+
+def pipeline_program(program: SourceProgram) -> PipelinedProgram:
+    """Lift every under-rank stream of ``program`` to rank ``r - 1``.
+
+    Streams already at rank ``r - 1`` pass through untouched.  The added
+    rows are unit loop-index rows chosen greedily in loop order.
+    """
+    r = program.r
+    target = r - 1
+    new_streams: list[Stream] = []
+    lifts: list[LiftedStream] = []
+    written = program.body.streams_written()
+    for stream in program.streams:
+        rows = [tuple(row) for row in stream.index_map.rows]
+        rank = _extended_rank(rows)
+        if len(rows) == target and rank == target:
+            new_streams.append(stream)
+            continue
+        if len(rows) > target:
+            raise RestrictionViolation(
+                f"stream {stream.name} is {len(rows)}-dimensional; "
+                f"r-dimensional variables are outside the format (Sect. 3.1)"
+            )
+        if rank < len(rows):
+            raise RestrictionViolation(
+                f"stream {stream.name}: rank-deficient index map must be "
+                "split into several streams (paper's LDU example); not lifted"
+            )
+        if stream.name in written:
+            raise RestrictionViolation(
+                f"stream {stream.name} is written and under-rank; pipelining "
+                "a written stream needs a reduction over the broadcast "
+                "copies, which the scheme does not define"
+            )
+        added: list[int] = []
+        bounds = list(stream.variable.bounds)
+        for axis in range(r):
+            if len(rows) == target:
+                break
+            unit = tuple(1 if j == axis else 0 for j in range(r))
+            if _extended_rank(rows + [unit]) > len(rows):
+                rows.append(unit)
+                added.append(axis)
+                loop = program.loops[axis]
+                bounds.append((loop.lower, loop.upper))
+        if len(rows) != target:
+            raise RestrictionViolation(
+                f"stream {stream.name}: could not reach rank {target}"
+            )
+        variable = IndexedVariable(stream.variable.name, tuple(bounds))
+        new_streams.append(Stream(variable, Matrix(rows)))
+        lifts.append(
+            LiftedStream(
+                name=stream.name,
+                original_dim=stream.variable.dim,
+                added_axes=tuple(added),
+            )
+        )
+    lifted_program = SourceProgram(
+        loops=program.loops,
+        streams=tuple(new_streams),
+        body=program.body,
+        size_symbols=program.size_symbols,
+        name=program.name + "_pipelined",
+    )
+    return PipelinedProgram(
+        original=program, program=lifted_program, lifts=tuple(lifts)
+    )

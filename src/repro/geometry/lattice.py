@@ -1,0 +1,153 @@
+"""Lines, chords and lattice reasoning (Section 2 and Theorem 7).
+
+A *line* is the infinite set ``{ x + alpha * z : alpha in R }``; a *chord*
+is the finite segment of lattice points between the origin and a point.
+Theorem 7 of the paper shows that the lattice points on a vector ``x`` are
+exactly ``(m/k) * x`` for ``0 <= m <= k`` with ``k = gcd`` of the
+coordinates, which yields the well-defined "unit distance" used to define
+``increment``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Iterator
+
+from repro.geometry.point import Point, gcd_reduce
+from repro.util.errors import GeometryError
+
+
+@dataclass(frozen=True)
+class Line:
+    """The line through ``base`` with direction ``direction`` (``!= 0``)."""
+
+    base: Point
+    direction: Point
+
+    def __post_init__(self) -> None:
+        if self.direction.is_zero:
+            raise GeometryError("a line needs a non-zero direction")
+        if self.base.dim != self.direction.dim:
+            raise GeometryError("line base and direction dimension mismatch")
+
+    def contains(self, point: Point) -> bool:
+        """True iff ``point`` lies on this (real) line."""
+        delta = point - self.base
+        alpha: Fraction | None = None
+        for d, z in zip(delta, self.direction):
+            if z == 0:
+                if d != 0:
+                    return False
+                continue
+            q = Fraction(d) / Fraction(z)
+            if alpha is None:
+                alpha = q
+            elif alpha != q:
+                return False
+        return True
+
+    def parameter_of(self, point: Point) -> Fraction:
+        """The ``alpha`` with ``point == base + alpha * direction``."""
+        if not self.contains(point):
+            raise GeometryError(f"{point} not on {self}")
+        for d, z in zip(point - self.base, self.direction):
+            if z != 0:
+                return Fraction(d) / Fraction(z)
+        raise GeometryError("unreachable: zero direction")
+
+    def lattice_points_between(self, lo: Point, hi: Point) -> Iterator[Point]:
+        """Integral points of the line inside the box ``[lo, hi]``, in order
+        of increasing parameter."""
+        # Find the integral sub-lattice of the line: integral points occur at
+        # parameters alpha0 + m * (1/k) where direction/k is the unit step --
+        # provided base is integral.
+        unit, _ = gcd_reduce(self.direction) if self.direction.is_integral else (None, 1)
+        if unit is None or not self.base.is_integral:
+            raise GeometryError("lattice enumeration requires integral base/direction")
+        # Range of m such that base + m * unit is within [lo, hi] in every
+        # coordinate with unit.i != 0 (coords with unit.i == 0 must already
+        # be within bounds).
+        m_lo: Fraction | None = None
+        m_hi: Fraction | None = None
+        for b, u, lo_c, hi_c in zip(self.base, unit, lo, hi):
+            if u == 0:
+                if not (lo_c <= b <= hi_c):
+                    return
+                continue
+            bound_a = Fraction(lo_c - b, u)
+            bound_b = Fraction(hi_c - b, u)
+            lo_m, hi_m = min(bound_a, bound_b), max(bound_a, bound_b)
+            m_lo = lo_m if m_lo is None else max(m_lo, lo_m)
+            m_hi = hi_m if m_hi is None else min(m_hi, hi_m)
+        if m_lo is None or m_hi is None or m_lo > m_hi:
+            return
+        import math
+
+        start = math.ceil(m_lo)
+        stop = math.floor(m_hi)
+        for m in range(start, stop + 1):
+            yield self.base + unit * m
+
+
+def on_chord(w: Point, x: Point) -> bool:
+    """The paper's ``(w on x)``: ``w = t * x`` for some ``0 <= t <= 1``."""
+    if w.dim != x.dim:
+        raise GeometryError("dimension mismatch in on_chord")
+    t: Fraction | None = None
+    for wc, xc in zip(w, x):
+        if xc == 0:
+            if wc != 0:
+                return False
+            continue
+        q = Fraction(wc) / Fraction(xc)
+        if t is None:
+            t = q
+        elif t != q:
+            return False
+    if t is None:  # x == 0, so w must be 0 as well (checked above)
+        return True
+    return 0 <= t <= 1
+
+
+def lattice_points_on_vector(x: Point) -> list[Point]:
+    """Theorem 7: the ``k+1`` lattice points on the chord of ``x``.
+
+    ``k`` is the gcd of the coordinates; the points are ``(m/k) * x`` for
+    ``0 <= m <= k``, returned in order from the origin to ``x``.
+    """
+    if not x.is_integral:
+        raise GeometryError("lattice_points_on_vector needs an integral vector")
+    if x.is_zero:
+        return [x]
+    unit, k = gcd_reduce(x)
+    return [unit * m for m in range(k + 1)]
+
+
+def unit_distance(x: Point) -> Point:
+    """The corollary to Theorem 7: the unit step ``(1/k) * x`` along ``x``.
+
+    A constant integral vector such that adjacent lattice points on any line
+    with direction ``x`` are exactly one unit apart.
+    """
+    if x.is_zero:
+        raise GeometryError("unit distance of the zero vector is undefined")
+    unit, _ = gcd_reduce(x)
+    return unit
+
+
+def integer_direction(x: Point) -> Point:
+    """Scale an arbitrary non-zero rational vector to the canonical coprime
+    integral vector with the same direction (sign preserved)."""
+    if x.is_zero:
+        raise GeometryError("cannot normalise the zero vector")
+    from fractions import Fraction as F
+    import math
+
+    fracs = [F(c) for c in x]
+    lcm = 1
+    for f in fracs:
+        lcm = lcm * f.denominator // math.gcd(lcm, f.denominator)
+    ints = Point(int(f * lcm) for f in fracs)
+    unit, _ = gcd_reduce(ints)
+    return unit

@@ -1,0 +1,142 @@
+"""Rational polyhedra and Fourier-Motzkin feasibility.
+
+The compilation scheme produces guards that are conjunctions of affine
+inequalities over the process-space coordinates and the problem-size
+symbols (Section 7.2.2).  Deciding whether such a guard can ever hold --
+e.g. to prune the vacuous sub-alternatives the paper removes by hand in
+Appendix E.2.5 -- is rational-feasibility checking, which Fourier-Motzkin
+elimination answers exactly.
+
+Constraints are kept in the canonical form ``coeffs . x + const >= 0``.
+Feasibility is over the rationals: a feasible relaxation may in rare cases
+have no integer point, so pruning with this test is *sound* (it only removes
+cases that can never hold) but not complete, matching the paper's own
+hand-simplification which also only removes impossible branches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Iterable, Sequence
+
+from repro.util.errors import GeometryError
+
+
+@dataclass(frozen=True)
+class LinearConstraint:
+    """The inequality ``sum_i coeffs[i] * x_i + const >= 0``."""
+
+    coeffs: tuple[Fraction, ...]
+    const: Fraction
+
+    @staticmethod
+    def of(coeffs: Sequence[int | Fraction], const: int | Fraction) -> "LinearConstraint":
+        return LinearConstraint(tuple(Fraction(c) for c in coeffs), Fraction(const))
+
+    @property
+    def dim(self) -> int:
+        return len(self.coeffs)
+
+    @property
+    def is_trivial(self) -> bool:
+        """No variables involved: truth is decided by the constant alone."""
+        return all(c == 0 for c in self.coeffs)
+
+    @property
+    def trivially_true(self) -> bool:
+        return self.is_trivial and self.const >= 0
+
+    @property
+    def trivially_false(self) -> bool:
+        return self.is_trivial and self.const < 0
+
+    def evaluate(self, assignment: Sequence[int | Fraction]) -> bool:
+        if len(assignment) != self.dim:
+            raise GeometryError("assignment dimension mismatch")
+        total = self.const + sum(
+            (c * Fraction(v) for c, v in zip(self.coeffs, assignment)), Fraction(0)
+        )
+        return total >= 0
+
+
+class ConstraintSystem:
+    """A conjunction of :class:`LinearConstraint` over a fixed variable set."""
+
+    def __init__(self, dim: int, constraints: Iterable[LinearConstraint] = ()) -> None:
+        self.dim = dim
+        self.constraints: list[LinearConstraint] = []
+        for c in constraints:
+            self.add(c)
+
+    def add(self, constraint: LinearConstraint) -> None:
+        if constraint.dim != self.dim:
+            raise GeometryError(
+                f"constraint dimension {constraint.dim} != system dimension {self.dim}"
+            )
+        self.constraints.append(constraint)
+
+    def evaluate(self, assignment: Sequence[int | Fraction]) -> bool:
+        return all(c.evaluate(assignment) for c in self.constraints)
+
+    def is_feasible(self) -> bool:
+        """Exact rational feasibility via Fourier-Motzkin elimination."""
+        return fourier_motzkin_feasible(self.constraints, self.dim)
+
+
+def _eliminate(constraints: list[LinearConstraint], var: int) -> list[LinearConstraint] | None:
+    """Eliminate variable ``var``; returns None if infeasibility is found."""
+    lowers: list[LinearConstraint] = []  # coeff[var] > 0: x_var >= -(rest)/coeff
+    uppers: list[LinearConstraint] = []  # coeff[var] < 0: x_var <= -(rest)/coeff
+    others: list[LinearConstraint] = []
+    for c in constraints:
+        a = c.coeffs[var]
+        if a > 0:
+            lowers.append(c)
+        elif a < 0:
+            uppers.append(c)
+        else:
+            if c.trivially_false:
+                return None
+            others.append(c)
+    out = list(others)
+    for lo in lowers:
+        for hi in uppers:
+            a_lo = lo.coeffs[var]
+            a_hi = -hi.coeffs[var]
+            # a_hi * lo + a_lo * hi eliminates x_var (both positive multipliers).
+            coeffs = tuple(
+                a_hi * cl + a_lo * ch for cl, ch in zip(lo.coeffs, hi.coeffs)
+            )
+            const = a_hi * lo.const + a_lo * hi.const
+            new = LinearConstraint(coeffs, const)
+            if new.trivially_false:
+                return None
+            if not new.trivially_true:
+                out.append(new)
+    return out
+
+
+def fourier_motzkin_feasible(
+    constraints: Sequence[LinearConstraint], dim: int
+) -> bool:
+    """True iff the conjunction has a rational solution.
+
+    Classic Fourier-Motzkin: eliminate each variable in turn, combining each
+    lower bound with each upper bound; the system is infeasible exactly when
+    a trivially false constant constraint appears.
+    """
+    work = []
+    for c in constraints:
+        if c.dim != dim:
+            raise GeometryError("constraint dimension mismatch")
+        if c.trivially_false:
+            return False
+        if not c.trivially_true:
+            work.append(c)
+    for var in range(dim):
+        result = _eliminate(work, var)
+        if result is None:
+            return False
+        work = result
+    return all(not c.trivially_false for c in work)

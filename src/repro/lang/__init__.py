@@ -1,0 +1,56 @@
+"""The source language (Section 3.1 of the paper).
+
+A source program is a set of ``r`` perfectly nested loops with unit steps
+and affine bounds in the *problem size* symbols, around a *basic statement*
+that accesses ``(r-1)``-dimensional indexed variables through constant-free
+affine index maps (the *streams*).
+
+This package provides the AST (:mod:`repro.lang.expr`,
+:mod:`repro.lang.program`), indexed variables and streams
+(:mod:`repro.lang.variables`, :mod:`repro.lang.stream`), a small textual
+front end (:mod:`repro.lang.parser`), the Appendix-A requirement /
+restriction checker (:mod:`repro.lang.validate`), the sequential reference
+interpreter used as the verification oracle (:mod:`repro.lang.interpreter`),
+and data-dependence analysis (:mod:`repro.lang.dependence`).
+"""
+
+from repro.lang.expr import (
+    Expr,
+    Const,
+    StreamRead,
+    IndexExpr,
+    BinOp,
+    Condition,
+    Assign,
+    Branch,
+    Body,
+)
+from repro.lang.variables import IndexedVariable
+from repro.lang.stream import Stream
+from repro.lang.program import Loop, SourceProgram
+from repro.lang.parser import parse_program, parse_affine
+from repro.lang.validate import validate_program
+from repro.lang.interpreter import run_sequential
+from repro.lang.dependence import dependence_vectors, check_step_function
+
+__all__ = [
+    "Expr",
+    "Const",
+    "StreamRead",
+    "IndexExpr",
+    "BinOp",
+    "Condition",
+    "Assign",
+    "Branch",
+    "Body",
+    "IndexedVariable",
+    "Stream",
+    "Loop",
+    "SourceProgram",
+    "parse_program",
+    "parse_affine",
+    "validate_program",
+    "run_sequential",
+    "dependence_vectors",
+    "check_step_function",
+]

@@ -1,0 +1,87 @@
+"""Data-dependence analysis for source programs.
+
+Two basic statements ``x`` and ``x'`` touch the same element of stream ``s``
+iff ``M.s.(x - x') = 0``, i.e. ``x - x'`` lies in the (one-dimensional,
+thanks to the rank-(r-1) requirement) null space of the index map.  The
+sequential execution order then orients that null vector into a *dependence
+vector* ``d``: the statement at ``x`` must precede the one at ``x + d``.
+
+A ``step`` function is consistent with the source program iff it strictly
+increases along every dependence vector (this is the content of the paper's
+assumption that the systolic array "respects the data dependences", and is
+what :func:`check_step_function` verifies).  These vectors are also the raw
+material for :mod:`repro.systolic.schedule`, which *synthesises* valid
+``step`` functions, standing in for the external synthesis systems the
+paper cites [5, 10, 11, 22].
+"""
+
+from __future__ import annotations
+
+from repro.geometry.linalg import Matrix
+from repro.geometry.point import Point, dot
+from repro.lang.program import SourceProgram
+from repro.util.errors import SystolicSpecError
+
+
+def _lexicographic_orientation(program: SourceProgram, vector: Point) -> Point:
+    """Orient a null vector along the sequential execution order.
+
+    Sequential order enumerates loop ``i`` in the direction of its step, so
+    ``x`` executes before ``x'`` iff the first non-zero component of
+    ``(x' - x)``, *after* flipping components of negative-step loops, is
+    positive.  The returned vector points from earlier to later iteration.
+    """
+    adjusted = [
+        c * lp.step for c, lp in zip(vector, program.loops)
+    ]
+    first = next((c for c in adjusted if c != 0), 0)
+    if first == 0:
+        raise SystolicSpecError("zero dependence vector")
+    return vector if first > 0 else -vector
+
+
+def dependence_vectors(program: SourceProgram) -> dict[str, Point]:
+    """Per-stream dependence vectors, oriented along sequential execution.
+
+    For stream ``s`` the vector is the canonical spanning element of
+    ``null(M.s)``, signed so that the statement at ``x`` sequentially
+    precedes the one at ``x + d``.  Only streams that are *written* (or both
+    read and written) induce true dependences, but the systolic model moves
+    read-only streams identically, so every stream contributes.
+    """
+    out: dict[str, Point] = {}
+    for s in program.streams:
+        null = s.null_direction()
+        out[s.name] = _lexicographic_orientation(program, null)
+    return out
+
+
+def check_step_function(program: SourceProgram, step: Matrix) -> None:
+    """Verify that ``step`` strictly increases along every dependence.
+
+    ``step`` is a ``1 x r`` integer matrix.  Raises
+    :class:`SystolicSpecError` when some dependence is violated.  This is a
+    necessary condition; the full consistency condition with ``place``
+    (paper Eq. 1) is checked in :mod:`repro.systolic.check`.
+    """
+    if step.nrows != 1 or step.ncols != program.r:
+        raise SystolicSpecError(
+            f"step must be 1 x {program.r}, got {step.shape}"
+        )
+    tau = step.row(0)
+    written = program.body.streams_written()
+    for name, d in dependence_vectors(program).items():
+        product = dot(tau, d)
+        if name in written:
+            if product <= 0:
+                raise SystolicSpecError(
+                    f"step {tuple(tau)} does not respect the dependence of "
+                    f"stream {name}: step . {tuple(d)} = {product} <= 0"
+                )
+        elif product == 0:
+            # A read-only stream's element would have to be at two places in
+            # the same step -- shared access, which systolic arrays forbid.
+            raise SystolicSpecError(
+                f"step {tuple(tau)} maps two accesses of read-only stream "
+                f"{name} to the same step (shared access is not allowed)"
+            )

@@ -1,0 +1,109 @@
+"""Appendix A: requirements and restrictions on source programs.
+
+*Requirements* (A.1) stem from the nature of systolic arrays; *restrictions*
+(A.2) are additional limits of the paper's method.  The checks that concern
+the distribution functions (`increment` components, neighbouring flows) live
+in :mod:`repro.systolic.check` and :mod:`repro.core`, because they need
+``step``/``place``; this module checks everything visible from the source
+program alone:
+
+A.1  r > 0 (we require r >= 2, since index maps must be (r-1) x r with
+     rank r-1, which forces r >= 2 for non-trivial streams);
+A.1  loop steps in {-1, +1} (enforced structurally by :class:`Loop`);
+A.1  every index map is (r-1) x r with rank r-1;
+A.2  loop bounds affine in the problem size (structural: they are Affine);
+A.2  each indexed variable is (r-1)-dimensional;
+A.2  index vectors contain no constants (structural for parsed programs;
+     re-checked here for programmatically built ones);
+A.2  each basic statement accesses all of the streams;
+A.2  each element of each variable is accessed by some statement
+     (checked concretely at sample problem sizes).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.lang.program import SourceProgram
+from repro.symbolic.affine import Numeric
+from repro.util.errors import RequirementViolation, RestrictionViolation
+
+
+def validate_program(
+    program: SourceProgram,
+    *,
+    sample_sizes: Sequence[Mapping[str, Numeric]] | None = None,
+) -> None:
+    """Raise ``RequirementViolation``/``RestrictionViolation`` on failure.
+
+    ``sample_sizes`` are concrete problem-size bindings at which the
+    surjectivity restriction ("every element is accessed") is checked; when
+    omitted, a small default is derived by binding every size symbol to 3.
+    """
+    r = program.r
+    if r < 2:
+        raise RequirementViolation(
+            f"program must have at least two nested loops, got {r}"
+        )
+
+    if not program.streams:
+        raise RestrictionViolation("program accesses no streams")
+
+    for s in program.streams:
+        s.check_rank()  # (r-1) x r with rank r-1
+        if s.variable.dim != r - 1:
+            raise RestrictionViolation(
+                f"variable {s.name} must be {r-1}-dimensional, is {s.variable.dim}-d"
+            )
+        if s.index_map.ncols != r:
+            raise RequirementViolation(
+                f"stream {s.name}: index map consumes {s.index_map.ncols} indices, "
+                f"program has {r} loops"
+            )
+
+    accessed = program.body.streams_accessed()
+    declared = {s.name for s in program.streams}
+    missing = declared.difference(accessed)
+    if missing:
+        raise RestrictionViolation(
+            f"basic statement does not access streams {sorted(missing)}"
+        )
+    unknown = accessed.difference(declared)
+    if unknown:
+        raise RestrictionViolation(
+            f"basic statement accesses undeclared streams {sorted(unknown)}"
+        )
+
+    if sample_sizes is None:
+        syms = set(program.size_symbols)
+        for lp in program.loops:
+            syms |= lp.lower.free_symbols | lp.upper.free_symbols
+        for v in program.variables:
+            syms |= v.size_symbols
+        sample_sizes = [{s: 3 for s in sorted(syms)}]
+
+    for env in sample_sizes:
+        _check_coverage(program, env)
+
+
+def _check_coverage(program: SourceProgram, env: Mapping[str, Numeric]) -> None:
+    """Every element of every variable is accessed by some basic statement,
+    and no statement steps outside a variable's space."""
+    index_space = program.index_space(env)
+    for s in program.streams:
+        space = s.variable.space(env)
+        touched = set()
+        for x in index_space:
+            el = s.element_of(x)
+            if el not in space:
+                raise RestrictionViolation(
+                    f"stream {s.name}: statement {x} accesses element {el} "
+                    f"outside {space.lo}..{space.hi} at size {dict(env)}"
+                )
+            touched.add(el)
+        if len(touched) != space.size:
+            untouched = space.size - len(touched)
+            raise RestrictionViolation(
+                f"stream {s.name}: {untouched} element(s) never accessed "
+                f"at size {dict(env)} (the scheme requires full coverage)"
+            )

@@ -1,0 +1,69 @@
+"""Indexed variables and their variable spaces (Sections 3.1 and 5).
+
+An indexed variable is a mapping from a rectangular box of lattice points
+(its *variable space* ``VS.v``) to values.  The bounds of each dimension are
+affine expressions in the problem-size symbols, so a variable is symbolic
+until instantiated at a concrete size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.geometry.point import Point
+from repro.geometry.rectangle import Rectangle
+from repro.symbolic.affine import Affine, AffineLike, Numeric
+from repro.util.errors import SourceProgramError
+
+
+@dataclass(frozen=True)
+class IndexedVariable:
+    """A declared indexed variable, e.g. ``int c[0..2*n]``.
+
+    ``bounds`` holds one ``(lower, upper)`` pair of affine expressions per
+    dimension; both bounds are inclusive.
+    """
+
+    name: str
+    bounds: tuple[tuple[Affine, Affine], ...]
+
+    def __post_init__(self) -> None:
+        if not self.name or not self.name.isidentifier():
+            raise SourceProgramError(f"bad variable name {self.name!r}")
+        if not self.bounds:
+            raise SourceProgramError(f"variable {self.name} needs >= 1 dimension")
+
+    @staticmethod
+    def of(name: str, *bounds: tuple[AffineLike, AffineLike]) -> "IndexedVariable":
+        return IndexedVariable(
+            name,
+            tuple((Affine.lift(lo), Affine.lift(hi)) for lo, hi in bounds),
+        )
+
+    @property
+    def dim(self) -> int:
+        return len(self.bounds)
+
+    @property
+    def size_symbols(self) -> frozenset[str]:
+        out: frozenset[str] = frozenset()
+        for lo, hi in self.bounds:
+            out |= lo.free_symbols | hi.free_symbols
+        return out
+
+    def lower(self, axis: int) -> Affine:
+        return self.bounds[axis][0]
+
+    def upper(self, axis: int) -> Affine:
+        return self.bounds[axis][1]
+
+    def space(self, env: Mapping[str, Numeric]) -> Rectangle:
+        """The concrete variable space ``VS.v`` at problem size ``env``."""
+        lo = Point(b[0].evaluate_int(env) for b in self.bounds)
+        hi = Point(b[1].evaluate_int(env) for b in self.bounds)
+        return Rectangle(lo, hi)
+
+    def __str__(self) -> str:
+        dims = ", ".join(f"{lo}..{hi}" for lo, hi in self.bounds)
+        return f"{self.name}[{dims}]"

@@ -1,0 +1,379 @@
+"""Lowering a symbolic SystolicProgram to a concrete process network.
+
+Every symbolic quantity the scheme derived -- ``first``/``last``/``count``,
+``soak``/``drain``, the i/o repeaters, Eq. 10 pass amounts -- is evaluated
+here at a concrete problem size and *drives the actual execution*, so an
+end-to-end run is a genuine test of the derivations, not of a parallel
+re-implementation.
+
+Network shape, per stream ``s`` with hop vector ``h`` (the one-process move
+of its elements) and flow denominator ``m``:
+
+* *pipes* are the maximal chains of process-space points along ``h``;
+* an input process feeds the upstream end of each pipe and an output
+  process drains the downstream end (Sections 6.3, 7.3 -- the chain ends
+  are exactly the deduplicated boundary sets of Eq. 5);
+* each link *into* a process-space node carries ``m - 1`` interposed latch
+  buffer processes (Section 7.6; like the paper's D.1 program, the link
+  from the input process gets them too, the link into the output process
+  does not);
+* process-space points outside the computation space become external
+  buffers: one pass-loop process per stream, composed in parallel exactly
+  like the ``par pass a / pass b`` of the E.2.7 buffer code.
+
+Computation processes follow the appendix phase order: stationary loads,
+then moving soaks (in stream order); the repeater loop with par-receives
+and par-sends around the basic statement; then moving drains and stationary
+recoveries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterator, Mapping
+
+from repro.core.program import StreamPlan, SystolicProgram
+from repro.geometry.point import Point
+from repro.lang.expr import RuntimeValue
+from repro.runtime.channel import Channel
+from repro.runtime.host import Host
+from repro.runtime.ops import Par, Recv, Send
+from repro.runtime.scheduler import Scheduler, SchedulerStats
+from repro.symbolic.affine import Numeric
+from repro.util.errors import RuntimeSimulationError
+
+
+def _as_count(value: Any) -> int:
+    """Evaluate-result -> non-negative int (None means zero/null)."""
+    if value is None:
+        return 0
+    from fractions import Fraction
+
+    if isinstance(value, Fraction):
+        if value.denominator != 1:
+            raise RuntimeSimulationError(f"non-integer count {value}")
+        value = int(value)
+    if value < 0:
+        raise RuntimeSimulationError(f"negative count {value}")
+    return int(value)
+
+
+@dataclass
+class ProcessNetwork:
+    """A fully instantiated network, ready to run."""
+
+    program: SystolicProgram
+    env: dict[str, Numeric]
+    host: Host
+    scheduler: Scheduler
+    channel_capacity: int
+    node_counts: dict[str, int] = field(default_factory=dict)
+    #: (stream name, PS point) -> whole-pipe element count of its chain
+    chain_totals: dict = field(default_factory=dict)
+
+    def run(self, max_rounds: int | None = None) -> SchedulerStats:
+        return self.scheduler.run(max_rounds=max_rounds)
+
+    def validate_topology(self) -> None:
+        """Pre-flight conservation check: at every computation process, the
+        derived per-node amounts account exactly for its chain's elements:
+
+        * moving stream:     soak + count + drain == chain total,
+        * stationary stream: soak +   1   + drain == chain total.
+
+        A violation means the symbolic derivations disagree with the pipe
+        enumeration and the run would deadlock; raising here gives a much
+        better diagnostic.  (Per-channel producer/consumer uniqueness holds
+        by construction of the builder.)
+        """
+        sp, env = self.program, self.env
+        for y in sp.process_space(env):
+            if not sp.in_computation_space(y, env):
+                continue
+            binding = sp.bind(y, env)
+            count = _as_count(sp.count.evaluate(binding))
+            for plan in sp.streams:
+                total = self.chain_totals.get((plan.name, y))
+                if total is None:
+                    raise RuntimeSimulationError(
+                        f"no chain covers {plan.name} at {y}"
+                    )
+                soak = _as_count(plan.soak.evaluate(binding))
+                drain = _as_count(plan.drain.evaluate(binding))
+                middle = 1 if plan.stationary else count
+                if soak + middle + drain != total:
+                    raise RuntimeSimulationError(
+                        f"conservation violated for {plan.name} at {y}: "
+                        f"{soak} + {middle} + {drain} != {total}"
+                    )
+
+
+class _NetworkBuilder:
+    def __init__(
+        self,
+        sp: SystolicProgram,
+        env: Mapping[str, Numeric],
+        host: Host,
+        channel_capacity: int,
+    ) -> None:
+        self.sp = sp
+        self.env = dict(env)
+        self.host = host
+        self.capacity = channel_capacity
+        self.scheduler = Scheduler()
+        self.space = sp.process_space(env)
+        #: per stream name: {point: channel} for the link INTO / OUT OF a node
+        self.in_chan: dict[str, dict[Point, Channel]] = {}
+        self.out_chan: dict[str, dict[Point, Channel]] = {}
+        #: per (stream, node): the whole-pipe element count of that node's
+        #: chain -- the authoritative Eq. 10 value, forced to 0 for chains
+        #: that never meet the computation space (Section 6.4's definition;
+        #: the closed-form guards assume integral endpoints and can be
+        #: fooled on all-buffer pipes of designs outside the paper's four)
+        self.chain_total: dict[tuple[str, Point], int] = {}
+        self.node_counts = {"compute": 0, "buffer": 0, "latch": 0, "input": 0, "output": 0}
+
+    # ------------------------------------------------------------------
+    def _channel(self, name: str) -> Channel:
+        return self.scheduler.add_channel(Channel(name, capacity=self.capacity))
+
+    def _chains(self, hop: Point) -> Iterator[list[Point]]:
+        for y in self.space:
+            if (y - hop) in self.space:
+                continue
+            chain = []
+            z = y
+            while z in self.space:
+                chain.append(z)
+                z = z + hop
+            yield chain
+
+    # ------------------------------------------------------------------
+    def _latch_process(self, chan_in: Channel, chan_out: Channel, count: int):
+        def body():
+            for _ in range(count):
+                value = yield Recv(chan_in)
+                yield Send(chan_out, value)
+
+        return body()
+
+    def _build_stream(self, plan: StreamPlan) -> None:
+        """Pipes, latches and i/o processes for one stream."""
+        sp, env = self.sp, self.env
+        name = plan.name
+        self.in_chan[name] = {}
+        self.out_chan[name] = {}
+        latches = plan.internal_buffers()
+        for chain in self._chains(plan.hop):
+            start, end = chain[0], chain[-1]
+            binding = sp.bind(start, env)
+            if any(sp.in_computation_space(z, env) for z in chain):
+                total = _as_count(plan.pass_amount.evaluate(binding))
+            else:
+                total = 0  # no basic statement on the pipe: nothing to move
+            for z in chain:
+                self.chain_total[(name, z)] = total
+            # channels along the chain; latches on every link into a node
+            upstream: Channel | None = None
+            for idx, y in enumerate(chain):
+                src = f"{name}_in" if idx == 0 else f"{name}{chain[idx - 1]}"
+                link_in = self._channel(f"{name}_chan[{src}->{y}]")
+                if idx == 0:
+                    head_channel = link_in
+                else:
+                    self.out_chan[name][chain[idx - 1]] = link_in
+                feed = link_in
+                for k in range(latches):
+                    buffered = self._channel(f"{name}_buff[{y}#{k}]")
+                    self.scheduler.spawn(
+                        f"L:{name}{y}#{k}", self._latch_process(feed, buffered, total)
+                    )
+                    self.node_counts["latch"] += 1
+                    feed = buffered
+                self.in_chan[name][y] = feed
+                upstream = link_in
+            tail = self._channel(f"{name}_chan[{end}->out]")
+            self.out_chan[name][end] = tail
+            # i/o processes (null pipes still get processes that do nothing,
+            # like the paper's null communications)
+            elements = list(self._pipe_elements(plan, binding, total))
+            self.scheduler.spawn(
+                f"IN:{name}{start}", self._input_process(plan, head_channel, elements)
+            )
+            self.scheduler.spawn(
+                f"OUT:{name}{end}", self._output_process(plan, tail, elements)
+            )
+            self.node_counts["input"] += 1
+            self.node_counts["output"] += 1
+
+    def _pipe_elements(
+        self, plan: StreamPlan, binding: Mapping[str, Numeric], total: int
+    ) -> Iterator[Point]:
+        if total == 0:
+            return
+        first = plan.first_s.evaluate(binding)
+        if first is None:
+            raise RuntimeSimulationError(
+                f"stream {plan.name}: pass amount {total} but null first_s"
+            )
+        if not first.is_integral:
+            raise RuntimeSimulationError(
+                f"stream {plan.name}: non-integral first_s {first}"
+            )
+        current = first
+        for _ in range(total):
+            yield current
+            current = current + plan.increment_s
+
+    def _input_process(self, plan: StreamPlan, chan: Channel, elements: list[Point]):
+        host, var = self.host, plan.name
+
+        def body():
+            for element in elements:
+                yield Send(chan, host.read_element(var, element))
+
+        return body()
+
+    def _output_process(self, plan: StreamPlan, chan: Channel, elements: list[Point]):
+        host, var = self.host, plan.name
+
+        def body():
+            for element in elements:
+                value = yield Recv(chan)
+                host.write_element(var, element, value)
+
+        return body()
+
+    # ------------------------------------------------------------------
+    def _build_buffer_node(self, y: Point) -> None:
+        """PS \\ CS: one parallel pass-loop per stream (E.2.7 buffer code)."""
+        for plan in self.sp.streams:
+            amount = self.chain_total[(plan.name, y)]
+            chan_in = self.in_chan[plan.name][y]
+            chan_out = self.out_chan[plan.name][y]
+            self.scheduler.spawn(
+                f"B:{plan.name}{y}", self._latch_process(chan_in, chan_out, amount)
+            )
+        self.node_counts["buffer"] += 1
+
+    def _build_compute_node(self, y: Point) -> None:
+        sp, env, host = self.sp, self.env, self.host
+        binding = sp.bind(y, env)
+        statements = list(sp.repeater.enumerate_at(binding))
+        source = sp.source
+        body_ast = source.body
+        stationary = [p for p in sp.streams if p.stationary]
+        moving = [p for p in sp.streams if not p.stationary]
+        index_base = {k: int(v) for k, v in env.items()}
+
+        amounts = {
+            p.name: (
+                _as_count(p.soak.evaluate(binding)),
+                _as_count(p.drain.evaluate(binding)),
+            )
+            for p in sp.streams
+        }
+        in_ch = {p.name: self.in_chan[p.name][y] for p in sp.streams}
+        out_ch = {p.name: self.out_chan[p.name][y] for p in sp.streams}
+
+        def body():
+            local: dict[str, RuntimeValue] = {}
+            # -- pre phase: stationary loads, then moving soaks ----------
+            for p in stationary:
+                soak, drain = amounts[p.name]
+                local[p.name] = yield Recv(in_ch[p.name])
+                for _ in range(drain):  # loading passes = drain (Sect. 6.5)
+                    value = yield Recv(in_ch[p.name])
+                    yield Send(out_ch[p.name], value)
+            for p in moving:
+                soak, _ = amounts[p.name]
+                for _ in range(soak):
+                    value = yield Recv(in_ch[p.name])
+                    yield Send(out_ch[p.name], value)
+            # -- the repeater: the basic statements of this process ------
+            for x in statements:
+                indices = dict(index_base)
+                indices.update(source.index_env(x))
+                if moving:
+                    received = yield Par([Recv(in_ch[p.name]) for p in moving])
+                else:
+                    received = []
+                values = dict(zip((p.name for p in moving), received))
+                values.update(local)
+                updated = body_ast.execute(values, indices)
+                for p in stationary:
+                    local[p.name] = updated[p.name]
+                if moving:
+                    yield Par(
+                        [Send(out_ch[p.name], updated[p.name]) for p in moving]
+                    )
+            # -- post phase: moving drains, then stationary recoveries ---
+            for p in moving:
+                _, drain = amounts[p.name]
+                for _ in range(drain):
+                    value = yield Recv(in_ch[p.name])
+                    yield Send(out_ch[p.name], value)
+            for p in stationary:
+                soak, _ = amounts[p.name]
+                for _ in range(soak):  # recovery passes = soak (Sect. 6.5)
+                    value = yield Recv(in_ch[p.name])
+                    yield Send(out_ch[p.name], value)
+                yield Send(out_ch[p.name], local[p.name])
+
+        self.scheduler.spawn(f"P{y}", body())
+        self.node_counts["compute"] += 1
+
+    # ------------------------------------------------------------------
+    def build(self) -> ProcessNetwork:
+        for plan in self.sp.streams:
+            self._build_stream(plan)
+        for y in self.space:
+            if self.sp.in_computation_space(y, self.env):
+                self._build_compute_node(y)
+            else:
+                self._build_buffer_node(y)
+        return ProcessNetwork(
+            program=self.sp,
+            env=self.env,
+            host=self.host,
+            scheduler=self.scheduler,
+            channel_capacity=self.capacity,
+            node_counts=self.node_counts,
+            chain_totals=self.chain_total,
+        )
+
+
+def build_network(
+    sp: SystolicProgram,
+    env: Mapping[str, Numeric],
+    inputs: Mapping[str, Mapping[Point, RuntimeValue] | int] | None = None,
+    *,
+    channel_capacity: int = 1,
+) -> ProcessNetwork:
+    """Instantiate a compiled program at a concrete problem size."""
+    host = Host(sp.source, env, inputs)
+    return _NetworkBuilder(sp, env, host, channel_capacity).build()
+
+
+def execute(
+    sp: SystolicProgram,
+    env: Mapping[str, Numeric],
+    inputs: Mapping[str, Mapping[Point, RuntimeValue] | int] | None = None,
+    *,
+    channel_capacity: int = 1,
+    max_rounds: int | None = None,
+    validate: bool = True,
+) -> tuple[dict, SchedulerStats]:
+    """Build, run, and return ``(final variable state, stats)``.
+
+    ``validate`` runs the pre-flight conservation check (better diagnostics
+    than a deadlock); every element of every variable must be recovered
+    exactly once.
+    """
+    network = build_network(sp, env, inputs, channel_capacity=channel_capacity)
+    if validate:
+        network.validate_topology()
+    stats = network.run(max_rounds=max_rounds)
+    for plan in sp.streams:
+        network.host.check_full_recovery(plan.name)
+    return network.host.final, stats

@@ -1,0 +1,63 @@
+"""Communication requests yielded by process coroutines.
+
+A process generator yields one of:
+
+* ``Send(channel, value)``    -- blocks until the channel accepts the value;
+* ``Recv(channel)``           -- blocks until a value is available; the
+                                 scheduler resumes the generator with it;
+* ``Par(ops)``                -- a parallel communication set (the paper's
+                                 ``par ... end par`` around the basic
+                                 statement's receives/sends): each member
+                                 completes independently, in any order; the
+                                 process resumes once all have completed,
+                                 receiving a list with the received values
+                                 in member order (``None`` for sends).
+
+``Par`` is what makes the basic statement's synchronous communications
+deadlock-insensitive to neighbour phase skew: a process never insists on
+one particular stream being serviced first.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Sequence, Union
+
+from repro.runtime.channel import Channel
+from repro.util.errors import RuntimeSimulationError
+
+
+@dataclass
+class Send:
+    channel: Channel
+    value: Any
+
+    def __repr__(self) -> str:
+        return f"Send({self.channel.name})"
+
+
+@dataclass
+class Recv:
+    channel: Channel
+
+    def __repr__(self) -> str:
+        return f"Recv({self.channel.name})"
+
+
+@dataclass
+class Par:
+    ops: tuple[Union[Send, Recv], ...]
+
+    def __init__(self, ops: Sequence[Union[Send, Recv]]) -> None:
+        for op in ops:
+            if not isinstance(op, (Send, Recv)):
+                raise RuntimeSimulationError(
+                    f"Par may only contain Send/Recv, got {op!r}"
+                )
+        self.ops = tuple(ops)
+
+    def __repr__(self) -> str:
+        return f"Par({', '.join(map(repr, self.ops))})"
+
+
+Op = Union[Send, Recv, Par]

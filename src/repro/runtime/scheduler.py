@@ -1,0 +1,293 @@
+"""The deterministic process scheduler.
+
+Processes are generators yielding :class:`Send`/:class:`Recv`/:class:`Par`
+requests.  The scheduler advances ready processes round-robin; a request
+that cannot complete parks the process on the channels involved, and any
+communication that frees space / delivers data immediately retries the
+parked counterparts, so progress is work-driven rather than poll-driven.
+
+Determinism: the ready queue is FIFO and channel wait lists are FIFO, so a
+given network always executes the same interleaving -- failures reproduce.
+
+Deadlock: when no process is ready and at least one is blocked, the
+scheduler raises :class:`DeadlockError` with a dump of who waits on what.
+
+Virtual time: each process carries a Lamport-style clock.  A message is
+stamped ``sender_clock + 1`` at the moment its send *completes*; when a
+process resumes from a request it sets ``clock = max(clock, stamps...) + 1``.
+The maximum final clock is the *makespan*: the length of the critical path
+through the communication graph, the asynchronous analogue of the systolic
+array's synchronous step count.  (Backpressure stalls -- a sender waiting
+for channel space -- are not charged to the clock; the metric tracks data
+dependences only.)
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Generator
+
+from repro.runtime.channel import Channel
+from repro.runtime.ops import Op, Par, Recv, Send
+from repro.util.errors import DeadlockError, RuntimeSimulationError
+
+ProcessBody = Generator[Op, Any, None]
+
+
+class _Slot:
+    """One sub-operation of a pending request."""
+
+    __slots__ = ("op", "done", "result")
+
+    def __init__(self, op) -> None:
+        self.op = op
+        self.done = False
+        self.result: Any = None
+
+
+class _ProcState:
+    __slots__ = ("name", "gen", "slots", "was_par", "clock", "yield_clock",
+                 "finished", "steps")
+
+    def __init__(self, name: str, gen: ProcessBody) -> None:
+        self.name = name
+        self.gen = gen
+        self.slots: list[_Slot] | None = None
+        self.was_par = False
+        self.clock = 0
+        self.yield_clock = 0
+        self.finished = False
+        self.steps = 0
+
+
+@dataclass
+class SchedulerStats:
+    """Aggregate execution metrics."""
+
+    makespan: int = 0
+    total_messages: int = 0
+    process_count: int = 0
+    scheduler_rounds: int = 0
+    per_channel_messages: dict = field(default_factory=dict)
+    per_process_clock: dict = field(default_factory=dict)
+
+
+class Scheduler:
+    """Runs a set of processes to completion."""
+
+    def __init__(self) -> None:
+        self._procs: list[_ProcState] = []
+        self._ready: deque[_ProcState] = deque()
+        self._channels: list[Channel] = []
+        #: optional finite-machine model: process name -> worker id; when
+        #: set, workers serialize the virtual-time cost of their processes
+        #: (the paper's Section 8 "not enough processors" scenario)
+        self._worker_of: dict[str, int] | None = None
+        self._worker_clock: dict[int, int] = {}
+
+    def assign_workers(self, assignment: dict[str, int]) -> None:
+        """Pin each process to a physical worker for virtual-time costing.
+
+        Every process name must be covered (processes spawned later inherit
+        no worker and stay unserialized).  Affects only the clock model, not
+        the communication semantics or results.
+        """
+        self._worker_of = dict(assignment)
+        self._worker_clock = {}
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def add_channel(self, channel: Channel) -> Channel:
+        self._channels.append(channel)
+        return channel
+
+    @property
+    def channels(self) -> tuple[Channel, ...]:
+        """All channels registered with this scheduler."""
+        return tuple(self._channels)
+
+    @property
+    def process_names(self) -> tuple[str, ...]:
+        """Names of all spawned processes."""
+        return tuple(p.name for p in self._procs)
+
+    def spawn(self, name: str, gen: ProcessBody) -> None:
+        if any(p.name == name for p in self._procs):
+            raise RuntimeSimulationError(f"duplicate process name {name!r}")
+        self._procs.append(_ProcState(name, gen))
+
+    # ------------------------------------------------------------------
+    # communication machinery
+    # ------------------------------------------------------------------
+    def _try_send(self, proc: _ProcState, slot: _Slot) -> bool:
+        """Complete a send: direct handoff to a parked receiver (rendezvous)
+        or a push into free channel space."""
+        chan: Channel = slot.op.channel
+        stamp = proc.yield_clock + 1
+        while chan.waiting_receivers:
+            other, rslot = chan.waiting_receivers[0]
+            chan.waiting_receivers.popleft()
+            if rslot.done:
+                continue
+            rslot.done = True
+            rslot.result = slot.op.value
+            chan.messages_carried += 1
+            other.clock = max(other.clock, stamp)
+            slot.done = True
+            self._maybe_wake(other)
+            return True
+        if chan.has_room():
+            chan.push(slot.op.value, stamp)
+            slot.done = True
+            self._drain_receivers(chan)
+            return True
+        return False
+
+    def _try_recv(self, proc: _ProcState, slot: _Slot) -> bool:
+        chan: Channel = slot.op.channel
+        if chan.queue:
+            msg = chan.pop()
+            slot.done = True
+            slot.result = msg.value
+            proc.clock = max(proc.clock, msg.timestamp)
+            self._drain_senders(chan)
+            return True
+        while chan.waiting_senders:
+            other, sslot = chan.waiting_senders[0]
+            chan.waiting_senders.popleft()
+            if sslot.done:
+                continue
+            sslot.done = True
+            slot.done = True
+            slot.result = sslot.op.value
+            chan.messages_carried += 1
+            proc.clock = max(proc.clock, other.yield_clock + 1)
+            self._maybe_wake(other)
+            return True
+        return False
+
+    def _drain_senders(self, chan: Channel) -> None:
+        """Space appeared: complete parked sends in FIFO order."""
+        while chan.waiting_senders and chan.has_room():
+            other, sslot = chan.waiting_senders.popleft()
+            if sslot.done:
+                continue
+            chan.push(sslot.op.value, other.yield_clock + 1)
+            sslot.done = True
+            self._maybe_wake(other)
+
+    def _drain_receivers(self, chan: Channel) -> None:
+        """Data appeared: complete parked receives in FIFO order."""
+        while chan.waiting_receivers and chan.queue:
+            other, rslot = chan.waiting_receivers.popleft()
+            if rslot.done:
+                continue
+            msg = chan.pop()
+            rslot.done = True
+            rslot.result = msg.value
+            other.clock = max(other.clock, msg.timestamp)
+            self._maybe_wake(other)
+
+    def _maybe_wake(self, proc: _ProcState) -> None:
+        """Move a parked process back to ready when its request completed."""
+        if proc.slots is not None and all(s.done for s in proc.slots):
+            self._ready.append(proc)
+
+    # ------------------------------------------------------------------
+    # main loop
+    # ------------------------------------------------------------------
+    def _advance(self, proc: _ProcState, value: Any) -> None:
+        """Drive one generator step and handle the yielded request."""
+        try:
+            op = proc.gen.send(value)
+        except StopIteration:
+            proc.finished = True
+            return
+        proc.steps += 1
+        proc.yield_clock = proc.clock
+        if isinstance(op, Par):
+            proc.was_par = True
+            slots = [_Slot(sub) for sub in op.ops]
+        elif isinstance(op, (Send, Recv)):
+            proc.was_par = False
+            slots = [_Slot(op)]
+        else:
+            raise RuntimeSimulationError(
+                f"process {proc.name} yielded {op!r}, expected Send/Recv/Par"
+            )
+        proc.slots = slots
+        for slot in slots:
+            if isinstance(slot.op, Send):
+                self._try_send(proc, slot)
+            else:
+                self._try_recv(proc, slot)
+        if all(s.done for s in slots):
+            self._ready.append(proc)
+        else:
+            for slot in slots:
+                if slot.done:
+                    continue
+                chan: Channel = slot.op.channel
+                if isinstance(slot.op, Send):
+                    chan.waiting_senders.append((proc, slot))
+                else:
+                    chan.waiting_receivers.append((proc, slot))
+
+    def run(self, max_rounds: int | None = None) -> SchedulerStats:
+        """Run all processes to completion; returns aggregate stats."""
+        rounds = 0
+        for proc in self._procs:
+            self._advance(proc, None)
+        while self._ready:
+            rounds += 1
+            if max_rounds is not None and rounds > max_rounds:
+                raise RuntimeSimulationError(f"exceeded {max_rounds} scheduler rounds")
+            proc = self._ready.popleft()
+            if proc.finished or proc.slots is None:
+                continue
+            if not all(s.done for s in proc.slots):
+                raise RuntimeSimulationError(
+                    f"process {proc.name} resumed with incomplete request"
+                )
+            slots = proc.slots
+            proc.slots = None
+            if self._worker_of is not None and proc.name in self._worker_of:
+                worker = self._worker_of[proc.name]
+                busy_until = self._worker_clock.get(worker, 0)
+                proc.clock = max(proc.clock, busy_until) + 1
+                self._worker_clock[worker] = proc.clock
+            else:
+                proc.clock += 1
+            value = [s.result for s in slots] if proc.was_par else slots[0].result
+            self._advance(proc, value)
+        unfinished = [p for p in self._procs if not p.finished]
+        if unfinished:
+            raise DeadlockError(self._deadlock_report(unfinished))
+        stats = SchedulerStats()
+        stats.process_count = len(self._procs)
+        stats.scheduler_rounds = rounds
+        stats.makespan = max((p.clock for p in self._procs), default=0)
+        stats.per_process_clock = {p.name: p.clock for p in self._procs}
+        stats.per_channel_messages = {
+            c.name: c.messages_carried for c in self._channels
+        }
+        stats.total_messages = sum(stats.per_channel_messages.values())
+        return stats
+
+    def _deadlock_report(self, unfinished: list[_ProcState]) -> str:
+        lines = [f"deadlock: {len(unfinished)} process(es) cannot progress"]
+        for p in unfinished[:20]:
+            if p.slots is None:
+                lines.append(f"  {p.name}: not blocked on any channel (lost)")
+                continue
+            waits = ", ".join(
+                f"{'send' if isinstance(s.op, Send) else 'recv'} {s.op.channel.name}"
+                for s in p.slots
+                if not s.done
+            )
+            lines.append(f"  {p.name}: waiting on {waits}")
+        if len(unfinished) > 20:
+            lines.append(f"  ... and {len(unfinished) - 20} more")
+        return "\n".join(lines)

@@ -1,0 +1,24 @@
+"""Symbolic affine engine.
+
+The compilation scheme's outputs -- ``first``, ``last``, ``count``,
+``soak``/``drain`` amounts, i/o repeaters -- are *closed forms*: affine
+expressions in the problem-size symbols (e.g. ``n``) and the process-space
+coordinates (e.g. ``col``, ``row``), guarded by conjunctions of affine
+inequalities and combined into piecewise case analyses (the paper's
+``if .. [] .. fi`` alternatives).  This package implements exactly that
+expression language, with exact rational arithmetic.
+"""
+
+from repro.symbolic.affine import Affine, AffineVec
+from repro.symbolic.guard import Constraint, Guard, interval
+from repro.symbolic.piecewise import Case, Piecewise
+
+__all__ = [
+    "Affine",
+    "AffineVec",
+    "Constraint",
+    "Guard",
+    "interval",
+    "Case",
+    "Piecewise",
+]

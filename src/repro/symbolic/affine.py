@@ -1,0 +1,312 @@
+"""Affine expressions over named symbols, with exact rational coefficients.
+
+An :class:`Affine` is ``sum_i c_i * s_i + k`` for symbols ``s_i``; it is the
+expression language of the paper's derived programs ("``2*n - col``",
+"``row - col + n``", ...).  :class:`AffineVec` is a fixed-length vector of
+affine expressions, used for points of the index space parameterised by the
+process-space coordinates (e.g. ``first = (col - row, 0, -row)``).
+
+Multiplication is only defined when at least one operand is constant: the
+scheme never needs products of two genuinely symbolic expressions, and
+keeping the language affine is what makes every later step (face solving,
+guard feasibility) exact and decidable.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Iterable, Mapping, Sequence, Union
+
+from repro.geometry.point import Point
+from repro.util.errors import SymbolicError
+
+Numeric = Union[int, Fraction]
+AffineLike = Union["Affine", int, Fraction]
+
+
+def _as_fraction(value: Numeric) -> Fraction:
+    if isinstance(value, bool) or not isinstance(value, (int, Fraction)):
+        raise SymbolicError(f"expected an exact number, got {value!r}")
+    return Fraction(value)
+
+
+class Affine:
+    """An immutable affine expression ``sum coeffs[s] * s + const``."""
+
+    __slots__ = ("coeffs", "const", "_hash")
+
+    def __init__(
+        self, coeffs: Mapping[str, Numeric] | None = None, const: Numeric = 0
+    ) -> None:
+        clean: dict[str, Fraction] = {}
+        for sym, c in (coeffs or {}).items():
+            if not isinstance(sym, str) or not sym:
+                raise SymbolicError(f"symbol names must be non-empty strings: {sym!r}")
+            f = _as_fraction(c)
+            if f != 0:
+                clean[sym] = f
+        object.__setattr__(self, "coeffs", dict(clean))
+        object.__setattr__(self, "const", _as_fraction(const))
+        object.__setattr__(
+            self, "_hash", hash((frozenset(clean.items()), self.const))
+        )
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError("Affine is immutable")
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+    @staticmethod
+    def constant(value: Numeric) -> "Affine":
+        return Affine({}, value)
+
+    @staticmethod
+    def var(name: str) -> "Affine":
+        return Affine({name: 1}, 0)
+
+    @staticmethod
+    def lift(value: AffineLike) -> "Affine":
+        if isinstance(value, Affine):
+            return value
+        return Affine.constant(value)
+
+    # ------------------------------------------------------------------
+    # structure
+    # ------------------------------------------------------------------
+    @property
+    def is_constant(self) -> bool:
+        return not self.coeffs
+
+    @property
+    def is_zero(self) -> bool:
+        return self.is_constant and self.const == 0
+
+    @property
+    def free_symbols(self) -> frozenset[str]:
+        return frozenset(self.coeffs)
+
+    def coeff(self, symbol: str) -> Fraction:
+        return self.coeffs.get(symbol, Fraction(0))
+
+    def as_constant(self) -> Fraction:
+        if not self.is_constant:
+            raise SymbolicError(f"{self} is not constant")
+        return self.const
+
+    def as_int(self) -> int:
+        c = self.as_constant()
+        if c.denominator != 1:
+            raise SymbolicError(f"{self} is not an integer")
+        return int(c)
+
+    # ------------------------------------------------------------------
+    # arithmetic
+    # ------------------------------------------------------------------
+    def __add__(self, other: AffineLike) -> "Affine":
+        o = Affine.lift(other)
+        coeffs = dict(self.coeffs)
+        for sym, c in o.coeffs.items():
+            coeffs[sym] = coeffs.get(sym, Fraction(0)) + c
+        return Affine(coeffs, self.const + o.const)
+
+    __radd__ = __add__
+
+    def __sub__(self, other: AffineLike) -> "Affine":
+        return self + (Affine.lift(other) * -1)
+
+    def __rsub__(self, other: AffineLike) -> "Affine":
+        return Affine.lift(other) - self
+
+    def __neg__(self) -> "Affine":
+        return self * -1
+
+    def __mul__(self, other: AffineLike) -> "Affine":
+        o = Affine.lift(other)
+        if o.is_constant:
+            k = o.const
+            return Affine({s: c * k for s, c in self.coeffs.items()}, self.const * k)
+        if self.is_constant:
+            return o * self.const
+        raise SymbolicError(f"non-affine product: ({self}) * ({o})")
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other: AffineLike) -> "Affine":
+        o = Affine.lift(other)
+        if not o.is_constant:
+            raise SymbolicError(f"division by symbolic expression: ({self}) / ({o})")
+        if o.const == 0:
+            raise SymbolicError(f"division by zero: ({self}) / 0")
+        return self * (Fraction(1) / o.const)
+
+    # ------------------------------------------------------------------
+    # substitution / evaluation
+    # ------------------------------------------------------------------
+    def subs(self, mapping: Mapping[str, AffineLike]) -> "Affine":
+        """Substitute symbols by affine expressions or numbers."""
+        result = Affine.constant(self.const)
+        for sym, c in self.coeffs.items():
+            replacement = mapping.get(sym)
+            if replacement is None:
+                result = result + Affine({sym: c})
+            else:
+                result = result + Affine.lift(replacement) * c
+        return result
+
+    def evaluate(self, env: Mapping[str, Numeric]) -> Fraction:
+        """Fully evaluate; every free symbol must be bound in ``env``."""
+        total = self.const
+        for sym, c in self.coeffs.items():
+            if sym not in env:
+                raise SymbolicError(f"unbound symbol {sym!r} in {self}")
+            total += c * _as_fraction(env[sym])
+        return total
+
+    def evaluate_int(self, env: Mapping[str, Numeric]) -> int:
+        v = self.evaluate(env)
+        if v.denominator != 1:
+            raise SymbolicError(f"{self} evaluates to non-integer {v} under {dict(env)}")
+        return int(v)
+
+    # ------------------------------------------------------------------
+    # comparison / display
+    # ------------------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, (int, Fraction)):
+            other = Affine.constant(other)
+        if not isinstance(other, Affine):
+            return NotImplemented
+        return self.coeffs == other.coeffs and self.const == other.const
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __str__(self) -> str:
+        parts: list[str] = []
+        for sym in sorted(self.coeffs):
+            c = self.coeffs[sym]
+            if c == 1:
+                term = sym
+            elif c == -1:
+                term = f"-{sym}"
+            else:
+                term = f"{c}*{sym}"
+            if parts and not term.startswith("-"):
+                parts.append(f"+ {term}")
+            elif parts:
+                parts.append(f"- {term[1:]}")
+            else:
+                parts.append(term)
+        if self.const != 0 or not parts:
+            k = self.const
+            if parts:
+                parts.append(f"+ {k}" if k > 0 else f"- {-k}")
+            else:
+                parts.append(str(k))
+        return " ".join(parts)
+
+    def __repr__(self) -> str:
+        return f"Affine({self})"
+
+
+class AffineVec(tuple):
+    """A fixed-length vector of affine expressions.
+
+    Used for symbolic points: ``first = (col, row, 0)`` is an
+    ``AffineVec`` over the process-space coordinates.
+    """
+
+    __slots__ = ()
+
+    def __new__(cls, items: Iterable[AffineLike]) -> "AffineVec":
+        return super().__new__(cls, (Affine.lift(x) for x in items))
+
+    @staticmethod
+    def of(*items: AffineLike) -> "AffineVec":
+        return AffineVec(items)
+
+    @staticmethod
+    def from_point(point: Sequence[Numeric]) -> "AffineVec":
+        return AffineVec(Affine.constant(c) for c in point)
+
+    @staticmethod
+    def symbols(names: Sequence[str]) -> "AffineVec":
+        return AffineVec(Affine.var(n) for n in names)
+
+    @property
+    def dim(self) -> int:
+        return len(self)
+
+    @property
+    def free_symbols(self) -> frozenset[str]:
+        out: frozenset[str] = frozenset()
+        for a in self:
+            out |= a.free_symbols
+        return out
+
+    @property
+    def is_constant(self) -> bool:
+        return all(a.is_constant for a in self)
+
+    def _coerce(self, other: object) -> "AffineVec | None":
+        if isinstance(other, AffineVec):
+            vec = other
+        elif isinstance(other, (tuple, list, Point)):
+            vec = AffineVec(other)
+        else:
+            return None
+        if len(vec) != len(self):
+            raise SymbolicError(f"dimension mismatch: {self} vs {vec}")
+        return vec
+
+    def __add__(self, other: object) -> "AffineVec":  # type: ignore[override]
+        vec = self._coerce(other)
+        if vec is None:
+            return NotImplemented
+        return AffineVec(a + b for a, b in zip(self, vec))
+
+    __radd__ = __add__
+
+    def __sub__(self, other: object) -> "AffineVec":
+        vec = self._coerce(other)
+        if vec is None:
+            return NotImplemented
+        return AffineVec(a - b for a, b in zip(self, vec))
+
+    def __rsub__(self, other: object) -> "AffineVec":
+        vec = self._coerce(other)
+        if vec is None:
+            return NotImplemented
+        return AffineVec(b - a for a, b in zip(self, vec))
+
+    def __neg__(self) -> "AffineVec":
+        return AffineVec(-a for a in self)
+
+    def __mul__(self, scalar: object) -> "AffineVec":  # type: ignore[override]
+        if not isinstance(scalar, (int, Fraction, Affine)):
+            return NotImplemented
+        return AffineVec(a * scalar for a in self)
+
+    __rmul__ = __mul__
+
+    def subs(self, mapping: Mapping[str, AffineLike]) -> "AffineVec":
+        return AffineVec(a.subs(mapping) for a in self)
+
+    def evaluate(self, env: Mapping[str, Numeric]) -> Point:
+        return Point(a.evaluate(env) for a in self)
+
+    def as_point(self) -> Point:
+        """Convert a fully constant vector to a :class:`Point`."""
+        return Point(a.as_constant() for a in self)
+
+    def with_coord(self, axis: int, value: AffineLike) -> "AffineVec":
+        """The paper's ``(x; i: e)`` for symbolic points."""
+        if not 0 <= axis < len(self):
+            raise SymbolicError(f"axis {axis} out of range for {self}")
+        return AffineVec(
+            Affine.lift(value) if i == axis else a for i, a in enumerate(self)
+        )
+
+    def __repr__(self) -> str:
+        return "(" + ", ".join(str(a) for a in self) + ")"

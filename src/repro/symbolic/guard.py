@@ -1,0 +1,222 @@
+"""Guards: conjunctions of affine inequalities.
+
+The guards in the paper's case analyses (e.g. ``0 <= row - col <= n`` in
+Appendix E.2) are conjunctions of linear inequalities over the process-space
+coordinates and the problem-size symbols.  A :class:`Constraint` is the
+canonical form ``expr >= 0``; a :class:`Guard` is a finite conjunction.
+
+Feasibility (used by the optional guard-pruning optimisation pass) reduces
+to rational Fourier-Motzkin over the guard's free symbols; callers supply
+standing *assumptions* such as ``n >= 1``.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Iterable, Mapping, Sequence
+
+from repro.geometry.polyhedron import LinearConstraint, fourier_motzkin_feasible
+from repro.symbolic.affine import Affine, AffineLike, Numeric
+from repro.util.errors import GuardError
+
+
+class Constraint:
+    """The inequality ``expr >= 0`` for an affine ``expr``."""
+
+    __slots__ = ("expr",)
+
+    def __init__(self, expr: AffineLike) -> None:
+        object.__setattr__(self, "expr", Affine.lift(expr))
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError("Constraint is immutable")
+
+    # -- constructors ---------------------------------------------------
+    @staticmethod
+    def ge(a: AffineLike, b: AffineLike) -> "Constraint":
+        """a >= b"""
+        return Constraint(Affine.lift(a) - Affine.lift(b))
+
+    @staticmethod
+    def le(a: AffineLike, b: AffineLike) -> "Constraint":
+        """a <= b"""
+        return Constraint(Affine.lift(b) - Affine.lift(a))
+
+    # -- queries ---------------------------------------------------------
+    @property
+    def free_symbols(self) -> frozenset[str]:
+        return self.expr.free_symbols
+
+    @property
+    def is_trivially_true(self) -> bool:
+        return self.expr.is_constant and self.expr.const >= 0
+
+    @property
+    def is_trivially_false(self) -> bool:
+        return self.expr.is_constant and self.expr.const < 0
+
+    def evaluate(self, env: Mapping[str, Numeric]) -> bool:
+        return self.expr.evaluate(env) >= 0
+
+    def subs(self, mapping: Mapping[str, AffineLike]) -> "Constraint":
+        return Constraint(self.expr.subs(mapping))
+
+    def to_linear(self, symbol_order: Sequence[str]) -> LinearConstraint:
+        """Lower to a numeric :class:`LinearConstraint` over ``symbol_order``."""
+        missing = self.free_symbols.difference(symbol_order)
+        if missing:
+            raise GuardError(f"symbols {sorted(missing)} not in ordering")
+        return LinearConstraint(
+            tuple(self.expr.coeff(s) for s in symbol_order), self.expr.const
+        )
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Constraint) and self.expr == other.expr
+
+    def __hash__(self) -> int:
+        return hash(("Constraint", self.expr))
+
+    def __str__(self) -> str:
+        return f"{self.expr} >= 0"
+
+    def __repr__(self) -> str:
+        return f"Constraint({self})"
+
+
+class Guard:
+    """A conjunction of constraints; ``Guard.TRUE`` is the empty conjunction."""
+
+    __slots__ = ("constraints",)
+
+    TRUE: "Guard"
+
+    def __init__(self, constraints: Iterable[Constraint] = ()) -> None:
+        # Deduplicate while preserving insertion order (stable printing).
+        seen: dict[Constraint, None] = {}
+        for c in constraints:
+            if not isinstance(c, Constraint):
+                raise GuardError(f"expected Constraint, got {c!r}")
+            if not c.is_trivially_true:
+                seen.setdefault(c, None)
+        object.__setattr__(self, "constraints", tuple(seen))
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError("Guard is immutable")
+
+    # -- combinators ------------------------------------------------------
+    def and_(self, other: "Guard | Constraint") -> "Guard":
+        if isinstance(other, Constraint):
+            other = Guard([other])
+        return Guard(self.constraints + other.constraints)
+
+    def __and__(self, other: "Guard | Constraint") -> "Guard":
+        return self.and_(other)
+
+    # -- queries ----------------------------------------------------------
+    @property
+    def is_true(self) -> bool:
+        return not self.constraints
+
+    @property
+    def is_trivially_false(self) -> bool:
+        return any(c.is_trivially_false for c in self.constraints)
+
+    @property
+    def free_symbols(self) -> frozenset[str]:
+        out: frozenset[str] = frozenset()
+        for c in self.constraints:
+            out |= c.free_symbols
+        return out
+
+    def evaluate(self, env: Mapping[str, Numeric]) -> bool:
+        return all(c.evaluate(env) for c in self.constraints)
+
+    def subs(self, mapping: Mapping[str, AffineLike]) -> "Guard":
+        return Guard(c.subs(mapping) for c in self.constraints)
+
+    def feasible(self, assumptions: "Guard | None" = None) -> bool:
+        """Exact rational feasibility of this guard (with assumptions).
+
+        Sound for pruning: an infeasible guard can never hold for any
+        integral assignment either.
+        """
+        combined = self if assumptions is None else self.and_(assumptions)
+        if combined.is_trivially_false:
+            return False
+        symbols = sorted(combined.free_symbols)
+        linear = [c.to_linear(symbols) for c in combined.constraints]
+        return fourier_motzkin_feasible(linear, len(symbols))
+
+    def implies(self, other: "Guard | Constraint", assumptions: "Guard | None" = None) -> bool:
+        """Sound implication test: ``self => other`` under the assumptions.
+
+        ``self`` implies a constraint ``e >= 0`` iff ``self /\\ e <= -1`` is
+        infeasible over the *integers*; we use the rational relaxation with
+        ``e <= -epsilon`` approximated by strict infeasibility of
+        ``-e - 1 >= 0`` when coefficients are integral, falling back to
+        ``-e > 0`` handled as ``-e >= epsilon`` with a tiny rational.  For
+        the affine-with-rational-coefficients guards produced by the scheme
+        we scale to integer coefficients first, making the test exact for
+        integer points.
+        """
+        if isinstance(other, Constraint):
+            others: tuple[Constraint, ...] = (other,)
+        else:
+            others = other.constraints
+        for c in others:
+            scaled = _scale_to_integer(c.expr)
+            negation = Constraint(-scaled - 1)  # scaled <= -1, integer-exact
+            test = self.and_(negation)
+            if assumptions is not None:
+                test = test.and_(assumptions)
+            if test.feasible():
+                return False
+        return True
+
+    def simplify(self, assumptions: "Guard | None" = None) -> "Guard":
+        """Drop constraints already implied by the standing assumptions.
+
+        Sound: the simplified guard is equivalent to the original wherever
+        the assumptions hold.  This is the mechanical counterpart of the
+        paper dropping e.g. ``0 <= 2*n`` when ``n >= 0`` is given.
+        """
+        if assumptions is None or assumptions.is_true:
+            return self
+        kept = [
+            c for c in self.constraints if not assumptions.implies(c)
+        ]
+        return Guard(kept)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Guard) and set(self.constraints) == set(other.constraints)
+
+    def __hash__(self) -> int:
+        return hash(("Guard", frozenset(self.constraints)))
+
+    def __str__(self) -> str:
+        if self.is_true:
+            return "true"
+        return "  /\\  ".join(str(c) for c in self.constraints)
+
+    def __repr__(self) -> str:
+        return f"Guard({self})"
+
+
+Guard.TRUE = Guard()
+
+
+def _scale_to_integer(expr: Affine) -> Affine:
+    """Scale an affine expression by a positive rational so that all
+    coefficients and the constant are integers."""
+    import math
+
+    denoms = [expr.const.denominator] + [c.denominator for c in expr.coeffs.values()]
+    lcm = 1
+    for d in denoms:
+        lcm = lcm * d // math.gcd(lcm, d)
+    return expr * lcm
+
+
+def interval(lo: AffineLike, mid: AffineLike, hi: AffineLike) -> Guard:
+    """The paper's pervasive two-sided guard ``lo <= mid <= hi``."""
+    return Guard([Constraint.ge(mid, lo), Constraint.le(mid, hi)])

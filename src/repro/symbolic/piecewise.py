@@ -1,0 +1,246 @@
+"""Piecewise values: the paper's ``if G0 -> e0 [] G1 -> e1 ... fi``.
+
+A :class:`Piecewise` is an ordered list of :class:`Case` (guard, value)
+pairs plus an optional default value (the paper's ``else -> null``
+alternative, used for null processes and null communications).
+
+Guarded-command semantics: evaluation picks *a* case whose guard holds.  The
+scheme only ever produces case analyses whose overlapping alternatives agree
+(the paper notes this explicitly for ``col = n`` in Appendix D.2), and
+:meth:`Piecewise.check_overlaps_agree` verifies it on concrete instances.
+Values may be affine expressions, affine vectors, nested piecewise values
+(Appendix E.2.5's soak/drain code), or ``None`` for the paper's ``null``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Any, Callable, Iterable, Mapping, Sequence
+
+from repro.symbolic.affine import Affine, AffineLike, AffineVec, Numeric
+from repro.symbolic.guard import Guard
+from repro.util.errors import SymbolicError
+
+Value = Any  # Affine | AffineVec | Piecewise | None
+
+
+@dataclass(frozen=True)
+class Case:
+    """One guarded alternative ``guard -> value``."""
+
+    guard: Guard
+    value: Value
+
+    def __str__(self) -> str:
+        return f"{self.guard}  ->  {self.value}"
+
+
+def _subs_value(value: Value, mapping: Mapping[str, AffineLike]) -> Value:
+    if value is None:
+        return None
+    if isinstance(value, (Affine, AffineVec, Piecewise)):
+        return value.subs(mapping)
+    raise SymbolicError(f"cannot substitute into {value!r}")
+
+
+def _evaluate_value(value: Value, env: Mapping[str, Numeric]) -> Any:
+    if value is None:
+        return None
+    if isinstance(value, (Affine, AffineVec, Piecewise)):
+        return value.evaluate(env)
+    raise SymbolicError(f"cannot evaluate {value!r}")
+
+
+class Piecewise:
+    """An immutable guarded case analysis with an optional default."""
+
+    __slots__ = ("cases", "default", "has_default")
+
+    def __init__(
+        self,
+        cases: Iterable[Case],
+        default: Value = None,
+        *,
+        has_default: bool = False,
+    ) -> None:
+        case_list = tuple(cases)
+        for c in case_list:
+            if not isinstance(c, Case):
+                raise SymbolicError(f"expected Case, got {c!r}")
+        object.__setattr__(self, "cases", case_list)
+        object.__setattr__(self, "default", default if has_default else None)
+        object.__setattr__(self, "has_default", bool(has_default))
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError("Piecewise is immutable")
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+    @staticmethod
+    def single(value: Value) -> "Piecewise":
+        """A case analysis with one unconditional alternative."""
+        return Piecewise([Case(Guard.TRUE, value)])
+
+    @staticmethod
+    def with_null_default(cases: Iterable[Case]) -> "Piecewise":
+        """The paper's ``else -> null`` form (null process / communication)."""
+        return Piecewise(cases, default=None, has_default=True)
+
+    # ------------------------------------------------------------------
+    # structure
+    # ------------------------------------------------------------------
+    @property
+    def free_symbols(self) -> frozenset[str]:
+        out: frozenset[str] = frozenset()
+        for c in self.cases:
+            out |= c.guard.free_symbols
+            if isinstance(c.value, (Affine, AffineVec, Piecewise)):
+                out |= c.value.free_symbols
+        if self.has_default and isinstance(
+            self.default, (Affine, AffineVec, Piecewise)
+        ):
+            out |= self.default.free_symbols
+        return out
+
+    def map_values(self, fn: Callable[[Value], Value]) -> "Piecewise":
+        """Apply ``fn`` to every leaf value (recursing through nesting)."""
+        def rec(value: Value) -> Value:
+            if isinstance(value, Piecewise):
+                return value.map_values(fn)
+            return fn(value)
+
+        return Piecewise(
+            (Case(c.guard, rec(c.value)) for c in self.cases),
+            default=rec(self.default) if self.has_default else None,
+            has_default=self.has_default,
+        )
+
+    # ------------------------------------------------------------------
+    # substitution / evaluation
+    # ------------------------------------------------------------------
+    def subs(self, mapping: Mapping[str, AffineLike]) -> "Piecewise":
+        return Piecewise(
+            (Case(c.guard.subs(mapping), _subs_value(c.value, mapping)) for c in self.cases),
+            default=_subs_value(self.default, mapping) if self.has_default else None,
+            has_default=self.has_default,
+        )
+
+    def matching_cases(self, env: Mapping[str, Numeric]) -> list[Case]:
+        """All alternatives whose guard holds under ``env``."""
+        return [c for c in self.cases if c.guard.evaluate(env)]
+
+    def evaluate(self, env: Mapping[str, Numeric]) -> Any:
+        """Evaluate under guarded-command semantics.
+
+        Picks the first alternative whose guard holds; falls back to the
+        default when no guard holds and a default exists, and raises
+        otherwise (the paper's ``if .. fi`` aborts when no guard holds).
+        """
+        for c in self.cases:
+            if c.guard.evaluate(env):
+                return _evaluate_value(c.value, env)
+        if self.has_default:
+            return _evaluate_value(self.default, env)
+        raise SymbolicError(
+            f"no alternative of the case analysis holds under {dict(env)}"
+        )
+
+    def check_overlaps_agree(self, env: Mapping[str, Numeric]) -> bool:
+        """True iff all alternatives whose guards hold yield equal values."""
+        values = [_evaluate_value(c.value, env) for c in self.matching_cases(env)]
+        return all(v == values[0] for v in values[1:])
+
+    # ------------------------------------------------------------------
+    # simplification
+    # ------------------------------------------------------------------
+    def prune(self, assumptions: Guard | None = None) -> "Piecewise":
+        """Drop alternatives whose guards are infeasible (sound, Fourier-
+        Motzkin-based -- the mechanical version of the paper's by-hand
+        simplification in Appendices D/E).  Nested piecewise values are
+        pruned in the context of their enclosing guard."""
+        new_cases: list[Case] = []
+        for c in self.cases:
+            ctx = c.guard if assumptions is None else c.guard.and_(assumptions)
+            if not ctx.feasible():
+                continue
+            value = c.value
+            if isinstance(value, Piecewise):
+                value = value.prune(ctx)
+            new_cases.append(Case(c.guard, value))
+        default = self.default
+        if self.has_default and isinstance(default, Piecewise):
+            default = default.prune(assumptions)
+        return Piecewise(new_cases, default=default, has_default=self.has_default)
+
+    def simplify(self, assumptions: Guard | None = None) -> "Piecewise":
+        """Prune infeasible alternatives and drop implied constraints.
+
+        Combines :meth:`prune` with :meth:`Guard.simplify`, recursing into
+        nested piecewise values with the enclosing guard added to the
+        context; an alternative whose guard simplifies to ``true`` makes
+        every later alternative (and the default) unreachable under
+        first-match evaluation, so they are removed -- this is what turns
+        e.g. the D.1 i/o repeater into the paper's plain ``{0 n 1}``.
+        Nested single-alternative ``true`` cases collapse into their leaf.
+        """
+        new_cases: list[Case] = []
+        truncated = False
+        for c in self.cases:
+            ctx = c.guard if assumptions is None else c.guard.and_(assumptions)
+            if not ctx.feasible():
+                continue
+            guard = c.guard.simplify(assumptions)
+            value = c.value
+            if isinstance(value, Piecewise):
+                value = value.simplify(ctx)
+                collapsed = value.collapse()
+                if not isinstance(collapsed, Piecewise):
+                    value = collapsed
+            new_cases.append(Case(guard, value))
+            if guard.is_true:
+                truncated = True
+                break
+        default = self.default
+        has_default = self.has_default and not truncated
+        if has_default and isinstance(default, Piecewise):
+            default = default.simplify(assumptions)
+        return Piecewise(
+            new_cases,
+            default=default if has_default else None,
+            has_default=has_default,
+        )
+
+    def collapse(self) -> Value:
+        """If a single unconditional alternative remains, return its value."""
+        if len(self.cases) == 1 and self.cases[0].guard.is_true:
+            return self.cases[0].value
+        return self
+
+    # ------------------------------------------------------------------
+    # display
+    # ------------------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Piecewise)
+            and self.cases == other.cases
+            and self.has_default == other.has_default
+            and self.default == other.default
+        )
+
+    def __hash__(self) -> int:
+        return hash(("Piecewise", self.cases, self.has_default))
+
+    def __str__(self) -> str:
+        lines = ["if"]
+        for i, c in enumerate(self.cases):
+            prefix = "   " if i == 0 else "[] "
+            lines.append(f"  {prefix}{c.guard}  ->  {c.value}")
+        if self.has_default:
+            lines.append(f"  [] else  ->  {'null' if self.default is None else self.default}")
+        lines.append("fi")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return f"Piecewise(<{len(self.cases)} cases>)"

@@ -1,0 +1,64 @@
+"""Consistency checks on systolic arrays (Eq. 1 and Appendix A).
+
+The compilation scheme assumes the systolic array is correct with respect
+to the source program (Section 3).  These checks catch the structural parts
+of that assumption mechanically:
+
+* **Compatibility (Eq. 1).**  Two distinct statements projected onto the
+  same point must not share a step number.  Statements projected together
+  differ by a multiple of ``null_p`` (Theorem 4), so compatibility is
+  exactly ``step . null_p != 0`` (Theorem 3's argument, run forward).
+* **Dependence respect.**  ``step`` strictly increases along every
+  dependence of a written stream (delegated to :mod:`repro.lang.dependence`).
+* **Neighbour flows (A.1).**  Every moving stream's flow is ``y/n`` with
+  ``nb.y``; every stationary stream's loading vector satisfies ``nb``.
+"""
+
+from __future__ import annotations
+
+from repro.geometry.point import nb
+from repro.lang.dependence import check_step_function
+from repro.lang.program import SourceProgram
+from repro.systolic.flow import flow_denominator, is_stationary, stream_flow
+from repro.systolic.spec import SystolicArray
+from repro.util.errors import (
+    InconsistentDistributionError,
+    RequirementViolation,
+    SystolicSpecError,
+)
+
+
+def check_compatibility(array: SystolicArray) -> None:
+    """Eq. 1: processes are sequential (step separates co-located ops)."""
+    null_p = array.null_place()
+    if array.step.apply_point(null_p)[0] == 0:
+        raise InconsistentDistributionError(
+            f"step {array.step.rows[0]} vanishes on null.place = {null_p}: "
+            "two distinct statements would share both place and step (Eq. 1)"
+        )
+
+
+def check_neighbour_flows(array: SystolicArray, program: SourceProgram) -> None:
+    """Appendix A.1's flow requirement, plus loading-vector sanity."""
+    for s in program.streams:
+        flow = stream_flow(array, s)
+        if is_stationary(flow):
+            vec = array.loading_vector(s.name)  # must exist
+            if not nb(vec):
+                raise RequirementViolation(
+                    f"loading & recovery vector {vec} for stationary stream "
+                    f"{s.name} links non-neighbouring processes"
+                )
+        else:
+            flow_denominator(flow)  # raises when not of the form y/n, nb.y
+
+
+def check_systolic_array(array: SystolicArray, program: SourceProgram) -> None:
+    """All checks: shape, compatibility, dependences, neighbour flows."""
+    if array.r != program.r:
+        raise SystolicSpecError(
+            f"distributions consume {array.r} indices, program has {program.r} loops"
+        )
+    check_compatibility(array)
+    check_step_function(program, array.step)
+    check_neighbour_flows(array, program)

@@ -1,0 +1,246 @@
+"""The paper's example programs and designs (Appendices D and E).
+
+* Appendix D: polynomial product, ``step.(i,j) = 2*i + j``, with
+  ``place.(i,j) = i`` (D.1, simple) and ``place.(i,j) = i + j`` (D.2).
+* Appendix E: matrix-matrix multiplication, ``step.(i,j,k) = i + j + k``,
+  with ``place.(i,j,k) = (i,j)`` (E.1, simple -- "collapse the inner loop")
+  and ``place.(i,j,k) = (i-k, j-k)`` (E.2 -- the Kung-Leiserson array).
+
+The loading & recovery vectors are the paper's choices: ``1`` for stream
+``a`` in D.1, ``1`` for stream ``c`` in D.2, and ``(1,0)`` for stream ``c``
+in E.1.
+"""
+
+from __future__ import annotations
+
+from repro.geometry.linalg import Matrix
+from repro.geometry.point import Point
+from repro.lang.parser import parse_program
+from repro.lang.program import SourceProgram
+from repro.systolic.spec import SystolicArray
+
+POLYPROD_SOURCE = """
+program polyprod
+size n
+var a[0..n], b[0..n], c[0..2*n]
+for i = 0 <- 1 -> n
+for j = 0 <- 1 -> n
+    c[i+j] := c[i+j] + a[i] * b[j]
+"""
+
+MATMUL_SOURCE = """
+program matmul
+size n
+var a[0..n, 0..n], b[0..n, 0..n], c[0..n, 0..n]
+for i = 0 <- 1 -> n
+for j = 0 <- 1 -> n
+for k = 0 <- 1 -> n
+    c[i,j] := c[i,j] + a[i,k] * b[k,j]
+"""
+
+
+def polynomial_product_program() -> SourceProgram:
+    """The Appendix D source program (degree-``n`` polynomial product)."""
+    return parse_program(POLYPROD_SOURCE)
+
+
+def matrix_product_program() -> SourceProgram:
+    """The Appendix E source program ((n+1) x (n+1) matrix product)."""
+    return parse_program(MATMUL_SOURCE)
+
+
+def polyprod_design_d1() -> SystolicArray:
+    """D.1: ``place.(i,j) = i`` (simple).  Stream ``a`` is stationary; its
+    loading & recovery vector is ``1`` (load from the left)."""
+    return SystolicArray(
+        step=Matrix([[2, 1]]),
+        place=Matrix([[1, 0]]),
+        loading_vectors={"a": Point.of(1)},
+        name="D.1 place=(i)",
+    )
+
+
+def polyprod_design_d2() -> SystolicArray:
+    """D.2: ``place.(i,j) = i+j`` (non-simple).  Stream ``c`` is stationary;
+    its loading & recovery vector is ``1``."""
+    return SystolicArray(
+        step=Matrix([[2, 1]]),
+        place=Matrix([[1, 1]]),
+        loading_vectors={"c": Point.of(1)},
+        name="D.2 place=(i+j)",
+    )
+
+
+def matmul_design_e1() -> SystolicArray:
+    """E.1: ``place.(i,j,k) = (i,j)`` (simple; collapses the k loop).
+    Stream ``c`` is stationary with loading & recovery vector ``(1,0)``."""
+    return SystolicArray(
+        step=Matrix([[1, 1, 1]]),
+        place=Matrix([[1, 0, 0], [0, 1, 0]]),
+        loading_vectors={"c": Point.of(1, 0)},
+        name="E.1 place=(i,j)",
+    )
+
+
+def matmul_design_e2() -> SystolicArray:
+    """E.2: ``place.(i,j,k) = (i-k, j-k)`` -- the Kung-Leiserson hexagonal
+    matrix-product array.  All three streams move."""
+    return SystolicArray(
+        step=Matrix([[1, 1, 1]]),
+        place=Matrix([[1, 0, -1], [0, 1, -1]]),
+        name="E.2 place=(i-k,j-k)",
+    )
+
+
+REVERSED_POLYPROD_SOURCE = """
+program polyprod_rev
+size n
+var a[0..n], b[0..n], c[0..2*n]
+for i = 0 <- 1 -> n
+for j = 0 <- -1 -> n
+    c[i+j] := c[i+j] + a[i] * b[j]
+"""
+
+RECTMM_SOURCE = """
+program rectmm
+size l, m, p
+var a[0..l, 0..p], b[0..p, 0..m], c[0..l, 0..m]
+for i = 0 <- 1 -> l
+for j = 0 <- 1 -> m
+for k = 0 <- 1 -> p
+    c[i,j] := c[i,j] + a[i,k] * b[k,j]
+"""
+
+
+def reversed_polyprod_program() -> SourceProgram:
+    """Polynomial product with the inner loop running right-to-left.
+
+    Exercises the paper's negative-step case (``st = -1``): the dependence
+    orientation flips and so does ``increment``.
+    """
+    return parse_program(REVERSED_POLYPROD_SOURCE)
+
+
+def polyprod_design_reversed() -> SystolicArray:
+    """A design for the reversed program: ``step = 2i - j``, ``place = i``.
+
+    Not in the paper; it exercises features the appendices never combine --
+    a negative loop step and a flow of 1/3 (stream ``c`` needs *two* latch
+    buffers per link).
+    """
+    return SystolicArray(
+        step=Matrix([[2, -1]]),
+        place=Matrix([[1, 0]]),
+        loading_vectors={"a": Point.of(1)},
+        name="R place=(i), reversed j",
+    )
+
+
+def rectangular_matmul_program() -> SourceProgram:
+    """(l+1) x (p+1) times (p+1) x (m+1) matrix product.
+
+    Three independent problem-size symbols; the closed forms stay symbolic
+    in all of them.
+    """
+    return parse_program(RECTMM_SOURCE)
+
+
+def rectmm_design() -> SystolicArray:
+    """The E.1-style simple design for the rectangular product."""
+    return SystolicArray(
+        step=Matrix([[1, 1, 1]]),
+        place=Matrix([[1, 0, 0], [0, 1, 0]]),
+        loading_vectors={"c": Point.of(1, 0)},
+        name="RM place=(i,j)",
+    )
+
+
+CORRELATION_SOURCE = """
+program correlation
+size n
+var x[0..n], y[0..n], r[0-n..n]
+for i = 0 <- 1 -> n
+for j = 0 <- 1 -> n
+    r[i-j] := r[i-j] + x[i] * y[j]
+"""
+
+
+def correlation_program() -> SourceProgram:
+    """Cross-correlation: ``r[lag] = sum x[i] * y[i - lag]``.
+
+    The result variable is indexed by the *difference* of the loop indices
+    (lags ``-n .. n``), a shape no appendix example has.
+    """
+    return parse_program(CORRELATION_SOURCE)
+
+
+def correlation_design() -> SystolicArray:
+    """The classic correlator: ``step = i+j``, ``place = i-j``.
+
+    One process per lag; the accumulator ``r`` is stationary while ``x``
+    and ``y`` stream through in *opposite* directions (flows -1 and +1).
+    """
+    return SystolicArray(
+        step=Matrix([[1, 1]]),
+        place=Matrix([[1, -1]]),
+        loading_vectors={"r": Point.of(1)},
+        name="C place=(i-j)",
+    )
+
+
+TENSOR_SOURCE = """
+program tensor
+size n
+var a[0..n, 0..n, 0..n], b[0..n, 0..n, 0..n], c[0..n, 0..n, 0..n]
+for i = 0 <- 1 -> n
+for j = 0 <- 1 -> n
+for k = 0 <- 1 -> n
+for l = 0 <- 1 -> n
+    c[i,j,k] := c[i,j,k] + a[i,j,l] * b[j,k,l]
+"""
+
+
+def tensor_contraction_program() -> SourceProgram:
+    """A four-loop tensor contraction: ``c[ijk] = sum_l a[ijl] * b[jkl]``.
+
+    ``r = 4`` with 3-d variables -- one dimension beyond anything in the
+    paper's appendices; the scheme's machinery is dimension-generic.
+    """
+    return parse_program(TENSOR_SOURCE)
+
+
+def tensor_design_simple() -> SystolicArray:
+    """``place = (i,j,k)``: a 3-D grid of ``(n+1)^3`` cells; stream ``c``
+    stays put while ``a`` and ``b`` pipeline through orthogonal axes."""
+    return SystolicArray(
+        step=Matrix([[1, 1, 1, 1]]),
+        place=Matrix([[1, 0, 0, 0], [0, 1, 0, 0], [0, 0, 1, 0]]),
+        loading_vectors={"c": Point.of(1, 0, 0)},
+        name="T place=(i,j,k)",
+    )
+
+
+def tensor_design_skewed() -> SystolicArray:
+    """``place = (i-l, j-l, k)``: the 3-D analogue of Kung-Leiserson.
+
+    All streams move (``c`` diagonally at ``(-1,-1,0)``); the computation
+    space is the slab ``|y0 - y1| <= n`` inside the bounding box, so
+    external buffer columns appear -- E.2's corner buffers, one dimension
+    up."""
+    return SystolicArray(
+        step=Matrix([[1, 1, 1, 1]]),
+        place=Matrix([[1, 0, 0, -1], [0, 1, 0, -1], [0, 0, 1, 0]]),
+        name="T2 place=(i-l,j-l,k)",
+    )
+
+
+def all_paper_designs() -> list[tuple[str, SourceProgram, SystolicArray]]:
+    """All four (experiment id, program, array) triples of the appendices."""
+    poly = polynomial_product_program()
+    mat = matrix_product_program()
+    return [
+        ("D1", poly, polyprod_design_d1()),
+        ("D2", poly, polyprod_design_d2()),
+        ("E1", mat, matmul_design_e1()),
+        ("E2", mat, matmul_design_e2()),
+    ]

@@ -1,0 +1,132 @@
+"""Design-space exploration over candidate place functions.
+
+"Once [step] has been derived, many different place functions are possible"
+(Section 3.2).  The paper derives two per example by hand; this module
+enumerates and *costs* the whole bounded design space, which is how a user
+of the compiler would actually pick one:
+
+* process count (``|PS|`` at a sample size) -- hardware cost;
+* null-process count (``|PS \\ CS|``) -- wasted cells / external buffers;
+* i/o process count -- boundary wiring;
+* total latch buffers (fractional flows);
+* stationary stream count (memory per cell vs pure pipelining).
+
+Candidates are deduplicated up to row order (coordinate renaming).  Costing
+is exact: the candidate is compiled and its concrete spaces enumerated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.core.io_layout import concrete_io_points
+from repro.geometry.linalg import Matrix
+from repro.geometry.point import Point
+from repro.lang.program import SourceProgram
+from repro.symbolic.affine import Numeric
+from repro.systolic.flow import is_stationary
+from repro.systolic.schedule import synthesize_places
+from repro.systolic.spec import SystolicArray
+from repro.util.errors import ReproError
+
+
+@dataclass(frozen=True)
+class DesignCost:
+    """Exact cost metrics of one compiled candidate."""
+
+    place: Matrix
+    processes: int
+    null_processes: int
+    io_processes: int
+    latch_buffers: int
+    stationary_streams: int
+
+    @property
+    def total_cells(self) -> int:
+        """Everything that must be instantiated."""
+        return self.processes + self.io_processes + self.latch_buffers
+
+    def row(self) -> dict:
+        return {
+            "place": " ; ".join(str(tuple(r)) for r in self.place.rows),
+            "procs": self.processes,
+            "null": self.null_processes,
+            "io": self.io_processes,
+            "latches": self.latch_buffers,
+            "stationary": self.stationary_streams,
+            "total": self.total_cells,
+        }
+
+
+def _default_loading(program: SourceProgram, step: Matrix, place: Matrix):
+    """Unit loading vectors for whichever streams come out stationary."""
+    from repro.systolic.flow import stream_flow
+
+    base = SystolicArray(step=step, place=place)
+    loading: dict[str, Point] = {}
+    dim = program.r - 1
+    for s in program.streams:
+        if is_stationary(stream_flow(base, s)):
+            for axis in range(dim):
+                candidate = Point.unit(dim, axis)
+                loading[s.name] = candidate
+                break
+    return loading
+
+
+def cost_of(
+    program: SourceProgram,
+    array: SystolicArray,
+    env: Mapping[str, Numeric],
+) -> DesignCost:
+    """Compile a candidate and measure it at a concrete size."""
+    from repro.core.scheme import compile_systolic
+
+    sp = compile_systolic(program, array)
+    space = sp.process_space(env)
+    compute = sum(1 for y in space if sp.in_computation_space(y, env))
+    io_total = 0
+    latches = 0
+    stationary = 0
+    for plan in sp.streams:
+        io_total += len(concrete_io_points(space, plan.transport))
+        latches += plan.internal_buffers() * space.size
+        if plan.stationary:
+            stationary += 1
+    return DesignCost(
+        place=array.place,
+        processes=space.size,
+        null_processes=space.size - compute,
+        io_processes=io_total,
+        latch_buffers=latches,
+        stationary_streams=stationary,
+    )
+
+
+def explore_designs(
+    program: SourceProgram,
+    step: Matrix,
+    env: Mapping[str, Numeric],
+    *,
+    bound: int = 1,
+    limit: int | None = None,
+) -> list[DesignCost]:
+    """Cost every compilable place candidate, cheapest total first.
+
+    Candidates that fail compilation (restriction violations such as
+    non-unimodular faces or oversize ``increment_s``) are skipped -- the
+    design space the scheme can actually handle is exactly what remains.
+    """
+    costs: list[DesignCost] = []
+    for place in synthesize_places(program, step, bound=bound):
+        loading = _default_loading(program, step, place)
+        array = SystolicArray(step=step, place=place, loading_vectors=loading)
+        try:
+            costs.append(cost_of(program, array, env))
+        except ReproError:
+            continue
+    costs.sort(key=lambda c: (c.total_cells, c.null_processes, str(c.place.rows)))
+    if limit is not None:
+        costs = costs[:limit]
+    return costs

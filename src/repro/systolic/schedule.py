@@ -1,0 +1,182 @@
+"""Bounded-search synthesis of distribution functions.
+
+The paper assumes ``step``/``place`` are produced by an external synthesis
+system (DIASTOL, ADVIS, the Huang-Lengauer method, ...; Section 1).  As a
+substrate substitute, this module synthesises them directly:
+
+* :func:`synthesize_step` searches integer row vectors ``tau`` with bounded
+  coefficients that respect every dependence, returning those of minimal
+  *makespan* (span of ``tau`` over the index space at a sample size) --
+  mirroring the optimality guarantee the paper attributes to the external
+  systems.
+* :func:`synthesize_places` searches integer ``(r-1) x r`` matrices of rank
+  ``r-1`` that are compatible with a given ``step`` (Eq. 1) and keep every
+  moving stream's flow within the neighbour requirement.
+
+The search space grows as ``O((2*bound+1)^(r*(r-1)))`` for places, so bounds
+are kept small; for the nested-loop programs in the paper's class (r = 2, 3)
+this is instantaneous and already contains all four appendix designs.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterator, Mapping
+
+from repro.geometry.linalg import Matrix
+from repro.geometry.point import Point, dot
+from repro.lang.dependence import check_step_function, dependence_vectors
+from repro.lang.program import SourceProgram
+from repro.symbolic.affine import Numeric
+from repro.systolic.check import check_systolic_array
+from repro.systolic.flow import flow_denominator, is_stationary, stream_flow
+from repro.systolic.spec import SystolicArray
+from repro.util.errors import RequirementViolation, SystolicSpecError
+
+
+def makespan(
+    program: SourceProgram, step: Matrix, env: Mapping[str, Numeric]
+) -> int:
+    """``(max x : x in IS : step.x) - (min x :: step.x) + 1``.
+
+    The number of synchronous steps the array takes (ignoring i/o fill and
+    drain).  Linear over the convex index space, so only corners matter.
+    """
+    corners = list(program.index_space(env).corners())
+    values = [step.apply_point(c)[0] for c in corners]
+    return int(max(values) - min(values)) + 1
+
+
+def _candidate_rows(r: int, bound: int) -> Iterator[Point]:
+    for coeffs in itertools.product(range(-bound, bound + 1), repeat=r):
+        if any(c != 0 for c in coeffs):
+            yield Point(coeffs)
+
+
+def synthesize_step(
+    program: SourceProgram,
+    *,
+    bound: int = 2,
+    env: Mapping[str, Numeric] | None = None,
+) -> list[Matrix]:
+    """All dependence-respecting step vectors of minimal makespan.
+
+    Candidates have coefficients in ``[-bound, bound]``; ties are returned
+    in deterministic (lexicographic) order.  ``env`` is the sample problem
+    size at which makespan is measured (default: all sizes bound to 4).
+    """
+    if env is None:
+        syms = set(program.size_symbols)
+        for lp in program.loops:
+            syms |= lp.lower.free_symbols | lp.upper.free_symbols
+        env = {s: 4 for s in syms}
+    deps = dependence_vectors(program)
+    written = program.body.streams_written()
+    best: list[Matrix] = []
+    best_span: int | None = None
+    for tau in _candidate_rows(program.r, bound):
+        ok = True
+        for name, d in deps.items():
+            product = dot(tau, d)
+            if (name in written and product <= 0) or product == 0:
+                ok = False
+                break
+        if not ok:
+            continue
+        step = Matrix([tau])
+        span = makespan(program, step, env)
+        if best_span is None or span < best_span:
+            best, best_span = [step], span
+        elif span == best_span:
+            best.append(step)
+    if not best:
+        raise SystolicSpecError(
+            f"no valid step vector with coefficients in [-{bound}, {bound}]"
+        )
+    return best
+
+
+def synthesize_places(
+    program: SourceProgram,
+    step: Matrix,
+    *,
+    bound: int = 1,
+    require_neighbour_flows: bool = True,
+) -> list[Matrix]:
+    """All place matrices compatible with ``step`` under the bound.
+
+    A candidate is kept when it has rank ``r-1``, satisfies Eq. 1
+    (``step . null_p != 0``), and -- when ``require_neighbour_flows`` --
+    every moving stream's flow meets the neighbour requirement.  Stationary
+    streams are accepted (the caller chooses loading vectors later).
+    Candidates are deduplicated up to row order.
+    """
+    check_step_function(program, step)
+    r = program.r
+    seen: set[frozenset] = set()
+    results: list[Matrix] = []
+    rows = list(_candidate_rows(r, bound))
+    for combo in itertools.combinations(rows, r - 1):
+        key = frozenset(combo)
+        if key in seen:
+            continue
+        seen.add(key)
+        place = Matrix(combo)
+        if place.rank != r - 1:
+            continue
+        array = SystolicArray(step=step, place=place)
+        try:
+            null_p = array.null_place()
+        except Exception:
+            continue
+        if step.apply_point(null_p)[0] == 0:
+            continue
+        if require_neighbour_flows:
+            ok = True
+            for s in program.streams:
+                try:
+                    flow = stream_flow(array, s)
+                except SystolicSpecError:
+                    ok = False
+                    break
+                if not is_stationary(flow):
+                    try:
+                        flow_denominator(flow)
+                    except RequirementViolation:
+                        ok = False
+                        break
+            if not ok:
+                continue
+        results.append(place)
+    return results
+
+
+def synthesize_array(
+    program: SourceProgram,
+    *,
+    step_bound: int = 2,
+    place_bound: int = 1,
+    default_loading_axis: int = 0,
+) -> SystolicArray:
+    """One fully checked array: best step, first compatible place.
+
+    Stationary streams get a default loading & recovery vector: the unit
+    vector along ``default_loading_axis``.  The result passes
+    :func:`repro.systolic.check.check_systolic_array`.
+    """
+    step = synthesize_step(program, bound=step_bound)[0]
+    for place in synthesize_places(program, step, bound=place_bound):
+        loading: dict[str, Point] = {}
+        candidate = SystolicArray(step=step, place=place)
+        for s in program.streams:
+            if is_stationary(stream_flow(candidate, s)):
+                loading[s.name] = Point.unit(program.r - 1, default_loading_axis)
+        array = SystolicArray(
+            step=step, place=place, loading_vectors=loading, name="synthesized"
+        )
+        try:
+            check_systolic_array(array, program)
+        except Exception:
+            continue
+        return array
+    raise SystolicSpecError("no compatible place found within the bound")

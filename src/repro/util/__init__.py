@@ -1,0 +1,35 @@
+"""Shared utilities: error hierarchy and small helpers."""
+
+from repro.util.errors import (
+    ReproError,
+    GeometryError,
+    SingularMatrixError,
+    SymbolicError,
+    GuardError,
+    SourceProgramError,
+    RequirementViolation,
+    RestrictionViolation,
+    SystolicSpecError,
+    InconsistentDistributionError,
+    CompilationError,
+    RuntimeSimulationError,
+    DeadlockError,
+    VerificationError,
+)
+
+__all__ = [
+    "ReproError",
+    "GeometryError",
+    "SingularMatrixError",
+    "SymbolicError",
+    "GuardError",
+    "SourceProgramError",
+    "RequirementViolation",
+    "RestrictionViolation",
+    "SystolicSpecError",
+    "InconsistentDistributionError",
+    "CompilationError",
+    "RuntimeSimulationError",
+    "DeadlockError",
+    "VerificationError",
+]

@@ -1,0 +1,75 @@
+"""Exception hierarchy for the systolizing compilation scheme.
+
+Every error raised by the library derives from :class:`ReproError`, so that
+callers can catch library failures without masking genuine Python bugs.
+The sub-hierarchy mirrors the pipeline stages: geometry / symbolic algebra,
+source-program validation (Appendix A of the paper), systolic-array
+specification (Section 3.2), compilation (Sections 6-7), and the distributed
+runtime substrate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class GeometryError(ReproError):
+    """A geometric operation was applied to incompatible operands."""
+
+
+class SingularMatrixError(GeometryError):
+    """A linear system had no unique solution where one was required."""
+
+
+class SymbolicError(ReproError):
+    """An affine/piecewise symbolic manipulation failed."""
+
+
+class GuardError(SymbolicError):
+    """A guard (conjunction of affine inequalities) could not be handled."""
+
+
+class SourceProgramError(ReproError):
+    """The source program is malformed."""
+
+
+class RequirementViolation(SourceProgramError):
+    """A *requirement* of Appendix A.1 is violated.
+
+    Requirements are demanded by the nature of systolic arrays themselves
+    (e.g. unit loop steps, rank ``r-1`` index maps, neighbouring flows).
+    """
+
+
+class RestrictionViolation(SourceProgramError):
+    """A *restriction* of Appendix A.2 is violated.
+
+    Restrictions are additional limits of the paper's method (e.g. increment
+    components in ``{-1, 0, +1}``, constant-free index vectors).
+    """
+
+
+class SystolicSpecError(ReproError):
+    """The systolic-array specification (``step``/``place``) is malformed."""
+
+
+class InconsistentDistributionError(SystolicSpecError):
+    """``step`` and ``place`` violate the compatibility condition (Eq. 1)."""
+
+
+class CompilationError(ReproError):
+    """The compilation scheme could not derive a systolic program."""
+
+
+class RuntimeSimulationError(ReproError):
+    """The distributed-runtime simulator detected an execution error."""
+
+
+class DeadlockError(RuntimeSimulationError):
+    """No process in the network can make progress."""
+
+
+class VerificationError(ReproError):
+    """A generated program disagreed with the sequential oracle."""

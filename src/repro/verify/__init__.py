@@ -1,0 +1,22 @@
+"""Verification: oracle equivalence and executable theorems.
+
+:mod:`repro.verify.equivalence` runs a compiled design on the simulator and
+compares every variable against the sequential interpreter -- the mechanical
+version of the paper's hand-checked transputer runs.
+:mod:`repro.verify.theorems` states Theorems 1-11 of Appendix B as
+executable checks over a concrete design and problem size.
+"""
+
+from repro.verify.equivalence import VerificationReport, verify_design, random_inputs
+from repro.verify.theorems import check_all_theorems, THEOREM_CHECKS
+from repro.verify.enumerative import CrossCheckReport, cross_check
+
+__all__ = [
+    "VerificationReport",
+    "verify_design",
+    "random_inputs",
+    "check_all_theorems",
+    "THEOREM_CHECKS",
+    "CrossCheckReport",
+    "cross_check",
+]

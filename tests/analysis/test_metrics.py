@@ -1,0 +1,110 @@
+"""Direct unit tests for repro.analysis.metrics."""
+
+import pytest
+
+from repro import compile_systolic
+from repro.analysis import (
+    ParallelismProfile,
+    parallelism_profile,
+    sequential_operation_count,
+    synchronous_makespan,
+)
+from repro.runtime import execute
+from repro.systolic import all_paper_designs
+from repro.verify import random_inputs
+
+ALL = all_paper_designs()
+
+
+class TestStaticMetrics:
+    def test_sequential_ops_polyprod(self):
+        exp, prog, arr = ALL[0]
+        assert sequential_operation_count(prog, {"n": 4}) == 25
+
+    def test_sequential_ops_matmul(self):
+        exp, prog, arr = ALL[2]
+        assert sequential_operation_count(prog, {"n": 4}) == 125
+
+    def test_sync_makespan_d(self):
+        exp, prog, arr = ALL[0]
+        # step = 2i + j over [0,n]^2 spans 0..3n
+        assert synchronous_makespan(prog, arr, {"n": 4}) == 13
+
+    def test_sync_makespan_e2_equals_e1(self):
+        """Both E designs share step = i+j+k, hence the same ideal time."""
+        _, prog, e1 = ALL[2]
+        _, _, e2 = ALL[3]
+        assert synchronous_makespan(prog, e1, {"n": 5}) == synchronous_makespan(
+            prog, e2, {"n": 5}
+        )
+
+
+class TestProfile:
+    def make_profile(self, idx=2, n=3):
+        exp, prog, arr = ALL[idx]
+        sp = compile_systolic(prog, arr)
+        inputs = random_inputs(prog, {"n": n}, seed=0)
+        _, stats = execute(sp, {"n": n}, inputs)
+        return parallelism_profile(sp, {"n": n}, stats)
+
+    def test_fields(self):
+        p = self.make_profile()
+        assert p.sequential_ops == 64
+        assert p.synchronous_makespan == 10
+        assert p.observed_makespan >= p.synchronous_makespan
+        assert p.processes > 0 and p.messages > 0
+
+    def test_speedup_efficiency_relationship(self):
+        p = self.make_profile()
+        assert p.efficiency == pytest.approx(p.speedup / p.processes)
+
+    def test_row_is_flat_and_json_friendly(self):
+        row = self.make_profile().row()
+        for key in ("n", "seq_ops", "sync_makespan", "observed_makespan",
+                    "processes", "messages", "speedup", "efficiency"):
+            assert key in row
+        assert all(isinstance(v, (int, float)) for v in row.values())
+
+    def test_profile_is_frozen(self):
+        p = self.make_profile()
+        with pytest.raises(Exception):
+            p.processes = 0
+
+
+class TestInterpreterOrder:
+    def test_negative_step_sequential_order(self):
+        """Sequential semantics honour the step direction: with st_j = -1
+        the last write wins at j = 0 (not j = n)."""
+        from repro.lang import parse_program, run_sequential
+        from repro.geometry import Point
+
+        text = """
+size n
+var a[0..n], b[0..n]
+for i = 0 <- 1 -> n
+for j = 0 <- -1 -> n
+  a[i] := b[j]
+"""
+        prog = parse_program(text)
+        n = 3
+        inputs = {"b": {Point.of(j): j * 10 for j in range(n + 1)}, "a": 0}
+        final = run_sequential(prog, {"n": n}, inputs)
+        # j runs n..0, so the final value of a[i] is b[0]
+        assert all(final["a"][Point.of(i)] == 0 for i in range(n + 1))
+
+    def test_positive_step_order(self):
+        from repro.lang import parse_program, run_sequential
+        from repro.geometry import Point
+
+        text = """
+size n
+var a[0..n], b[0..n]
+for i = 0 <- 1 -> n
+for j = 0 <- 1 -> n
+  a[i] := b[j]
+"""
+        prog = parse_program(text)
+        n = 3
+        inputs = {"b": {Point.of(j): j * 10 for j in range(n + 1)}, "a": 0}
+        final = run_sequential(prog, {"n": n}, inputs)
+        assert all(final["a"][Point.of(i)] == 30 for i in range(n + 1))

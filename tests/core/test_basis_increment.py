@@ -1,0 +1,113 @@
+"""Tests for the process-space basis (7.1) and increment (7.2.1)."""
+
+import pytest
+
+from repro.core import (
+    concrete_process_space,
+    derive_increment,
+    process_space_basis,
+    process_space_guard,
+)
+from repro.geometry import Matrix, Point
+from repro.symbolic import Affine, AffineVec
+from repro.systolic import (
+    SystolicArray,
+    matmul_design_e1,
+    matmul_design_e2,
+    matrix_product_program,
+    polynomial_product_program,
+    polyprod_design_d1,
+    polyprod_design_d2,
+)
+from repro.util.errors import InconsistentDistributionError, RestrictionViolation
+
+n = Affine.var("n")
+
+
+class TestBasis:
+    def test_d1(self):
+        lo, hi = process_space_basis(polynomial_product_program(), polyprod_design_d1())
+        assert lo == AffineVec.of(0)
+        assert hi == AffineVec.of(n)
+
+    def test_d2(self):
+        lo, hi = process_space_basis(polynomial_product_program(), polyprod_design_d2())
+        assert lo == AffineVec.of(0)
+        assert hi == AffineVec.of(2 * n)
+
+    def test_e1(self):
+        lo, hi = process_space_basis(matrix_product_program(), matmul_design_e1())
+        assert lo == AffineVec.of(0, 0)
+        assert hi == AffineVec.of(n, n)
+
+    def test_e2(self):
+        lo, hi = process_space_basis(matrix_product_program(), matmul_design_e2())
+        assert lo == AffineVec.of(-n, -n)
+        assert hi == AffineVec.of(n, n)
+
+    def test_matches_exhaustive_minimum(self):
+        """The vertex construction equals brute-force min/max over IS."""
+        prog = matrix_product_program()
+        array = matmul_design_e2()
+        lo, hi = process_space_basis(prog, array)
+        env = {"n": 3}
+        points = [array.place_of(x) for x in prog.index_space(env)]
+        for i in range(2):
+            assert lo[i].evaluate_int(env) == min(p[i] for p in points)
+            assert hi[i].evaluate_int(env) == max(p[i] for p in points)
+
+    def test_concrete_process_space(self):
+        lo, hi = process_space_basis(matrix_product_program(), matmul_design_e2())
+        ps = concrete_process_space(lo, hi, {"n": 2})
+        assert ps.lo == Point.of(-2, -2) and ps.hi == Point.of(2, 2)
+
+    def test_process_space_guard(self):
+        lo, hi = process_space_basis(polynomial_product_program(), polyprod_design_d2())
+        g = process_space_guard(lo, hi, ("col",))
+        assert g.evaluate({"col": 3, "n": 2})
+        assert not g.evaluate({"col": 5, "n": 2})
+
+
+class TestIncrement:
+    def test_d1(self):
+        assert derive_increment(polyprod_design_d1()) == Point.of(0, 1)
+
+    def test_d2(self):
+        assert derive_increment(polyprod_design_d2()) == Point.of(1, -1)
+
+    def test_e1(self):
+        assert derive_increment(matmul_design_e1()) == Point.of(0, 0, 1)
+
+    def test_e2(self):
+        assert derive_increment(matmul_design_e2()) == Point.of(1, 1, 1)
+
+    def test_points_forward_in_time(self):
+        """Theorem 6: step . increment > 0 for every design."""
+        for array in (
+            polyprod_design_d1(),
+            polyprod_design_d2(),
+            matmul_design_e1(),
+            matmul_design_e2(),
+        ):
+            inc = derive_increment(array)
+            assert array.step.apply_point(inc)[0] > 0
+
+    def test_in_null_place(self):
+        """Theorem 5: increment lies in null.place."""
+        for array in (polyprod_design_d2(), matmul_design_e2()):
+            inc = derive_increment(array)
+            assert array.place_of(inc).is_zero
+
+    def test_inconsistent_rejected(self):
+        array = SystolicArray(step=Matrix([[1, 0]]), place=Matrix([[1, 0]]))
+        with pytest.raises(InconsistentDistributionError):
+            derive_increment(array)
+
+    def test_restriction_enforced(self):
+        # place=(i+2j) has null (2,-1): increment (2,-1) violates A.2
+        array = SystolicArray(step=Matrix([[2, 1]]), place=Matrix([[1, 2]]))
+        with pytest.raises(RestrictionViolation):
+            derive_increment(array)
+        # but the unrestricted inspection succeeds
+        inc = derive_increment(array, enforce_restriction=False)
+        assert abs(inc[0]) == 2

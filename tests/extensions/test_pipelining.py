@@ -1,0 +1,129 @@
+"""Tests for the under-rank stream pipelining lift (Section 3.1's Note)."""
+
+import pytest
+
+from repro import compile_systolic, parse_program, run_sequential, validate_program
+from repro.extensions import pipeline_program
+from repro.geometry import Matrix, Point
+from repro.runtime import execute
+from repro.systolic import SystolicArray, polynomial_product_program
+from repro.util.errors import RestrictionViolation, SourceProgramError
+
+WEIGHTED = """
+program weighted
+size n
+var a[0..n, 0..n], w[0..n], c[0..n, 0..n]
+for i = 0 <- 1 -> n
+for j = 0 <- 1 -> n
+for k = 0 <- 1 -> n
+    c[i,j] := c[i,j] + a[i,k] * w[k]
+"""
+
+
+def weighted_inputs(n):
+    return {
+        "a": {Point.of(i, k): i + 2 * k for i in range(n + 1) for k in range(n + 1)},
+        "w": {Point.of(k): k + 1 for k in range(n + 1)},
+        "c": 0,
+    }
+
+
+def e1_style_array():
+    return SystolicArray(
+        step=Matrix([[1, 1, 1]]),
+        place=Matrix([[1, 0, 0], [0, 1, 0]]),
+        loading_vectors={"c": Point.of(1, 0)},
+    )
+
+
+class TestLift:
+    def test_underrank_stream_lifted(self):
+        pp = pipeline_program(parse_program(WEIGHTED))
+        assert len(pp.lifts) == 1
+        lift = pp.lifts[0]
+        assert lift.name == "w" and lift.original_dim == 1
+        w = pp.program.stream("w")
+        assert w.index_map.shape == (2, 3)
+        assert w.index_map.rank == 2
+        assert w.variable.dim == 2
+
+    def test_full_rank_streams_untouched(self):
+        pp = pipeline_program(parse_program(WEIGHTED))
+        original = parse_program(WEIGHTED)
+        assert pp.program.stream("a").index_map == original.stream("a").index_map
+        assert pp.program.stream("c").index_map == original.stream("c").index_map
+
+    def test_lifted_program_validates(self):
+        pp = pipeline_program(parse_program(WEIGHTED))
+        validate_program(pp.program)
+
+    def test_already_valid_program_is_noop(self):
+        prog = polynomial_product_program()
+        pp = pipeline_program(prog)
+        assert pp.lifts == ()
+        assert pp.program.streams == prog.streams
+
+    def test_written_underrank_rejected(self):
+        text = """
+size n
+var w[0..n], a[0..n, 0..n]
+for i = 0 <- 1 -> n
+for j = 0 <- 1 -> n
+for k = 0 <- 1 -> n
+    w[k] := w[k] + a[i,j]
+"""
+        with pytest.raises(RestrictionViolation):
+            pipeline_program(parse_program(text))
+
+    def test_added_bounds_come_from_loops(self):
+        pp = pipeline_program(parse_program(WEIGHTED))
+        w = pp.program.stream("w").variable
+        # the second dimension is a copy of loop i's bounds 0..n
+        assert str(w.bounds[1][0]) == "0"
+        assert str(w.bounds[1][1]) == "n"
+
+
+class TestAdaptors:
+    def test_expand_inputs_broadcast(self):
+        pp = pipeline_program(parse_program(WEIGHTED))
+        n = 2
+        lifted = pp.expand_inputs({"n": n}, weighted_inputs(n))
+        w = lifted["w"]
+        for k in range(n + 1):
+            values = {w[Point.of(k, extra)] for extra in range(n + 1)}
+            assert values == {k + 1}
+
+    def test_expand_missing_element(self):
+        pp = pipeline_program(parse_program(WEIGHTED))
+        bad = weighted_inputs(2)
+        del bad["w"][Point.of(0)]
+        with pytest.raises(SourceProgramError):
+            pp.expand_inputs({"n": 2}, bad)
+
+    def test_project_outputs_collapses(self):
+        pp = pipeline_program(parse_program(WEIGHTED))
+        n = 1
+        lifted = pp.expand_inputs({"n": n}, weighted_inputs(n))
+        projected = pp.project_outputs({"w": lifted["w"]})
+        assert projected["w"] == {Point(k): v for k, v in weighted_inputs(n)["w"].items()}
+
+    def test_project_detects_disagreement(self):
+        pp = pipeline_program(parse_program(WEIGHTED))
+        bad = {Point.of(0, 0): 1, Point.of(0, 1): 2}
+        with pytest.raises(SourceProgramError):
+            pp.project_outputs({"w": bad})
+
+
+class TestEndToEnd:
+    @pytest.mark.parametrize("n", [1, 3])
+    def test_lifted_execution_matches_original_oracle(self, n):
+        prog = parse_program(WEIGHTED)
+        pp = pipeline_program(prog)
+        sp = compile_systolic(pp.program, e1_style_array())
+        inputs = weighted_inputs(n)
+        final, _ = execute(sp, {"n": n}, pp.expand_inputs({"n": n}, inputs))
+        projected = pp.project_outputs(final)
+        oracle = run_sequential(prog, {"n": n}, inputs)
+        assert projected["c"] == oracle["c"]
+        assert projected["w"] == oracle["w"]
+        assert projected["a"] == oracle["a"]

@@ -1,0 +1,68 @@
+"""Tests for Matrix.determinant (used by the unimodular-face check)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.geometry import Matrix
+from repro.util.errors import GeometryError
+
+
+class TestDeterminant:
+    def test_identity(self):
+        from repro.geometry import identity
+
+        assert identity(3).determinant() == 1
+
+    def test_2x2(self):
+        assert Matrix([[1, 2], [3, 4]]).determinant() == -2
+
+    def test_singular(self):
+        assert Matrix([[1, 2], [2, 4]]).determinant() == 0
+
+    def test_permutation_sign(self):
+        assert Matrix([[0, 1], [1, 0]]).determinant() == -1
+
+    def test_fractional(self):
+        m = Matrix([[Fraction(1, 2), 0], [0, 4]])
+        assert m.determinant() == 2
+
+    def test_nonsquare_rejected(self):
+        with pytest.raises(GeometryError):
+            Matrix([[1, 2, 3]]).determinant()
+
+    def test_consistent_with_inverse(self):
+        m = Matrix([[2, 1], [1, 1]])
+        assert m.determinant() != 0
+        m.inverse()  # must not raise
+
+    def test_paper_faces_unimodular(self):
+        """Every face of every appendix design has |det| = 1 -- the
+        condition the reproduction identified as necessary for integral
+        face solutions."""
+        from repro.core import derive_increment
+        from repro.systolic import all_paper_designs
+
+        for exp_id, prog, array in all_paper_designs():
+            inc = derive_increment(array)
+            for axis, c in enumerate(inc):
+                if c == 0:
+                    continue
+                det = array.place.drop_column(axis).determinant()
+                assert abs(det) == 1, f"{exp_id} face {axis}"
+
+    def test_non_unimodular_place_rejected_at_compile(self):
+        """The sublattice failure mode found by the property search:
+        a place whose reduced face matrix has |det| != 1 maps the index
+        lattice onto a proper sublattice and must be rejected."""
+        from repro.core import compile_systolic
+        from repro.systolic import SystolicArray, matrix_product_program
+        from repro.util.errors import ReproError
+
+        prog = matrix_product_program()
+        bad = SystolicArray(
+            step=Matrix([[1, 1, 1]]),
+            place=Matrix([[1, 1, 0], [1, -1, 0]]),  # det of k-face = -2
+        )
+        with pytest.raises(ReproError):
+            compile_systolic(prog, bad)

@@ -1,0 +1,139 @@
+"""Unit tests for repro.geometry.lattice (Theorem 7 and chords)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.geometry import (
+    Line,
+    Point,
+    integer_direction,
+    lattice_points_on_vector,
+    on_chord,
+    unit_distance,
+)
+from repro.util.errors import GeometryError
+
+
+class TestLine:
+    def test_contains(self):
+        line = Line(Point.of(0, 0), Point.of(1, 2))
+        assert line.contains(Point.of(2, 4))
+        assert not line.contains(Point.of(2, 5))
+
+    def test_contains_axis_parallel(self):
+        line = Line(Point.of(3, 0), Point.of(0, 1))
+        assert line.contains(Point.of(3, 100))
+        assert not line.contains(Point.of(4, 0))
+
+    def test_zero_direction_rejected(self):
+        with pytest.raises(GeometryError):
+            Line(Point.of(0), Point.of(0))
+
+    def test_parameter_of(self):
+        line = Line(Point.of(1, 1), Point.of(2, 2))
+        assert line.parameter_of(Point.of(5, 5)) == 2
+
+    def test_parameter_of_off_line(self):
+        with pytest.raises(GeometryError):
+            Line(Point.of(0, 0), Point.of(1, 0)).parameter_of(Point.of(0, 1))
+
+    def test_lattice_points_between(self):
+        line = Line(Point.of(0, 0), Point.of(1, 1))
+        pts = list(line.lattice_points_between(Point.of(0, 0), Point.of(3, 3)))
+        assert pts == [Point.of(0, 0), Point.of(1, 1), Point.of(2, 2), Point.of(3, 3)]
+
+    def test_lattice_points_between_negative_direction(self):
+        line = Line(Point.of(2, 0), Point.of(-1, 1))
+        pts = list(line.lattice_points_between(Point.of(0, 0), Point.of(2, 2)))
+        assert Point.of(2, 0) in pts and Point.of(0, 2) in pts
+        assert len(pts) == 3
+
+    def test_lattice_points_outside_box(self):
+        line = Line(Point.of(10, 10), Point.of(1, 0))
+        assert list(line.lattice_points_between(Point.of(0, 0), Point.of(5, 5))) == []
+
+
+class TestOnChord:
+    def test_origin_always_on(self):
+        assert on_chord(Point.of(0, 0), Point.of(3, 9))
+
+    def test_endpoint_on(self):
+        assert on_chord(Point.of(3, 9), Point.of(3, 9))
+
+    def test_midpoint_on(self):
+        assert on_chord(Point.of(1, 3), Point.of(3, 9))
+
+    def test_beyond_endpoint_off(self):
+        assert not on_chord(Point.of(4, 12), Point.of(3, 9))
+
+    def test_off_direction(self):
+        assert not on_chord(Point.of(1, 4), Point.of(3, 9))
+
+    def test_zero_chord(self):
+        assert on_chord(Point.of(0, 0), Point.of(0, 0))
+        assert not on_chord(Point.of(1, 0), Point.of(0, 0))
+
+
+class TestTheorem7:
+    """Theorem 7: a vector x has gcd(x)+1 lattice points on its chord."""
+
+    def test_count(self):
+        pts = lattice_points_on_vector(Point.of(4, 6))
+        assert len(pts) == 3  # gcd(4,6)=2 -> 3 points
+
+    def test_points(self):
+        assert lattice_points_on_vector(Point.of(4, 6)) == [
+            Point.of(0, 0),
+            Point.of(2, 3),
+            Point.of(4, 6),
+        ]
+
+    def test_coprime_vector_only_endpoints(self):
+        assert lattice_points_on_vector(Point.of(3, 5)) == [
+            Point.of(0, 0),
+            Point.of(3, 5),
+        ]
+
+    def test_all_on_chord(self):
+        x = Point.of(6, -9, 3)
+        for p in lattice_points_on_vector(x):
+            assert on_chord(p, x)
+            assert p.is_integral
+
+    def test_zero_vector(self):
+        assert lattice_points_on_vector(Point.of(0, 0)) == [Point.of(0, 0)]
+
+
+class TestUnitDistance:
+    def test_basic(self):
+        assert unit_distance(Point.of(0, -8)) == Point.of(0, -1)
+
+    def test_already_unit(self):
+        assert unit_distance(Point.of(1, -1)) == Point.of(1, -1)
+
+    def test_zero_rejected(self):
+        with pytest.raises(GeometryError):
+            unit_distance(Point.of(0, 0))
+
+    def test_adjacent_points_one_unit_apart(self):
+        x = Point.of(6, 9)
+        pts = lattice_points_on_vector(x)
+        u = unit_distance(x)
+        for a, b in zip(pts, pts[1:]):
+            assert b - a == u
+
+
+class TestIntegerDirection:
+    def test_fractional_input(self):
+        assert integer_direction(Point.of(Fraction(1, 2), 1)) == Point.of(1, 2)
+
+    def test_sign_preserved(self):
+        assert integer_direction(Point.of(Fraction(-1, 2), 0)) == Point.of(-1, 0)
+
+    def test_integral_input_reduced(self):
+        assert integer_direction(Point.of(4, 6)) == Point.of(2, 3)
+
+    def test_zero_rejected(self):
+        with pytest.raises(GeometryError):
+            integer_direction(Point.of(0, 0))

@@ -1,0 +1,153 @@
+"""Unit tests for repro.geometry.linalg."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.geometry import Matrix, Point, identity, null_space_vector, solve_unique
+from repro.util.errors import GeometryError, SingularMatrixError
+
+
+class TestMatrixBasics:
+    def test_shape(self):
+        m = Matrix([[1, 2, 3], [4, 5, 6]])
+        assert m.shape == (2, 3)
+
+    def test_ragged_rejected(self):
+        with pytest.raises(GeometryError):
+            Matrix([[1, 2], [3]])
+
+    def test_empty_rejected(self):
+        with pytest.raises(GeometryError):
+            Matrix([])
+
+    def test_immutable(self):
+        m = Matrix([[1]])
+        with pytest.raises(AttributeError):
+            m.rows = ()
+
+    def test_indexing_row_col(self):
+        m = Matrix([[1, 2], [3, 4]])
+        assert m[1, 0] == 3
+        assert m.row(0) == Point.of(1, 2)
+        assert m.col(1) == Point.of(2, 4)
+
+    def test_eq_hash(self):
+        assert Matrix([[1, 2]]) == Matrix([[1, 2]])
+        assert hash(Matrix([[1, 2]])) == hash(Matrix([[1, 2]]))
+
+
+class TestApply:
+    def test_apply_point(self):
+        m = Matrix([[1, 0, 1], [0, 1, -1]])  # the index map of A[i+k, j-k]
+        assert m.apply_point(Point.of(2, 3, 1)) == Point.of(3, 2)
+
+    def test_matmul(self):
+        a = Matrix([[1, 2], [3, 4]])
+        b = Matrix([[0, 1], [1, 0]])
+        assert a @ b == Matrix([[2, 1], [4, 3]])
+
+    def test_transpose(self):
+        assert Matrix([[1, 2, 3]]).transpose() == Matrix([[1], [2], [3]])
+
+    def test_drop_column(self):
+        m = Matrix([[1, 2, 3], [4, 5, 6]])
+        assert m.drop_column(1) == Matrix([[1, 3], [4, 6]])
+
+    def test_apply_dim_mismatch(self):
+        with pytest.raises(GeometryError):
+            Matrix([[1, 2]]).apply_point(Point.of(1, 2, 3))
+
+
+class TestRankNullSpace:
+    def test_rank_full(self):
+        assert Matrix([[1, 0], [0, 1]]).rank == 2
+
+    def test_rank_deficient(self):
+        assert Matrix([[1, 2], [2, 4]]).rank == 1
+
+    def test_null_space_simple_place(self):
+        # place.(i,j) = i  (Appendix D.1): null space spanned by (0,1)
+        m = Matrix([[1, 0]])
+        assert null_space_vector(m) == Point.of(0, 1)
+
+    def test_null_space_nonsimple_place(self):
+        # place.(i,j) = i+j (Appendix D.2): null space spanned by +-(1,-1)
+        v = null_space_vector(Matrix([[1, 1]]))
+        assert v in (Point.of(1, -1), Point.of(-1, 1))
+
+    def test_null_space_kung_leiserson(self):
+        # place.(i,j,k) = (i-k, j-k) (Appendix E.2): span of (1,1,1)
+        v = null_space_vector(Matrix([[1, 0, -1], [0, 1, -1]]))
+        assert v == Point.of(1, 1, 1)
+
+    def test_null_space_matmul_simple(self):
+        # place.(i,j,k) = (i,j) (Appendix E.1): span of (0,0,1)
+        v = null_space_vector(Matrix([[1, 0, 0], [0, 1, 0]]))
+        assert v == Point.of(0, 0, 1)
+
+    def test_null_space_vector_requires_dim_one(self):
+        with pytest.raises(GeometryError):
+            null_space_vector(Matrix([[1, 0, 0]]))  # 2-dimensional null space
+
+    def test_null_space_basis_orthogonality(self):
+        m = Matrix([[1, 2, 3]])
+        for v in m.null_space_basis():
+            assert m.apply_point(v).is_zero
+
+    def test_null_space_vector_is_coprime_integral(self):
+        v = null_space_vector(Matrix([[2, 2]]))
+        assert v.is_integral
+        assert v in (Point.of(1, -1), Point.of(-1, 1))
+
+
+class TestInverseSolve:
+    def test_identity(self):
+        assert identity(3) @ identity(3) == identity(3)
+
+    def test_inverse(self):
+        m = Matrix([[1, 2], [3, 5]])
+        assert m @ m.inverse() == identity(2)
+
+    def test_inverse_fractional(self):
+        m = Matrix([[2, 0], [0, 4]])
+        inv = m.inverse()
+        assert inv[0, 0] == Fraction(1, 2)
+        assert inv[1, 1] == Fraction(1, 4)
+
+    def test_singular(self):
+        with pytest.raises(SingularMatrixError):
+            Matrix([[1, 1], [1, 1]]).inverse()
+
+    def test_nonsquare_inverse_rejected(self):
+        with pytest.raises(GeometryError):
+            Matrix([[1, 2, 3]]).inverse()
+
+    def test_solve_unique(self):
+        m = Matrix([[2, 1], [1, 1]])
+        x = solve_unique(m, [Fraction(3), Fraction(2)])
+        assert x == [1, 1]
+
+    def test_solve_roundtrip(self):
+        m = Matrix([[1, 2], [3, 4]])
+        rhs = [Fraction(7), Fraction(10)]
+        x = solve_unique(m, rhs)
+        assert m.apply(x) == rhs
+
+
+class TestPlaceColumnDropInvertibility:
+    """Dropping column i of place is invertible iff increment.i != 0.
+
+    This is the property the face-solving step of Section 7.2.2 relies on.
+    """
+
+    def test_kung_leiserson_all_faces_invertible(self):
+        place = Matrix([[1, 0, -1], [0, 1, -1]])  # increment = (1,1,1)
+        for i in range(3):
+            place.drop_column(i).inverse()  # must not raise
+
+    def test_simple_place_parallel_face_singular(self):
+        place = Matrix([[1, 0, 0], [0, 1, 0]])  # increment = (0,0,1)
+        with pytest.raises(SingularMatrixError):
+            place.drop_column(0).inverse()  # increment.0 == 0 -> singular
+        place.drop_column(2).inverse()  # increment.2 != 0 -> invertible

@@ -1,0 +1,151 @@
+"""Unit tests for repro.geometry.point (paper Section 2 notation)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.geometry import Point, dot, gcd_reduce, nb, sgn, vector_quotient
+from repro.util.errors import GeometryError
+
+
+class TestConstruction:
+    def test_of(self):
+        assert Point.of(1, 2, 3) == (1, 2, 3)
+
+    def test_origin(self):
+        assert Point.origin(3) == (0, 0, 0)
+        assert Point.origin(3).is_zero
+
+    def test_unit(self):
+        assert Point.unit(3, 1) == (0, 1, 0)
+
+    def test_unit_out_of_range(self):
+        with pytest.raises(GeometryError):
+            Point.unit(2, 5)
+
+    def test_integral_fraction_collapses_to_int(self):
+        p = Point([Fraction(4, 2), 1])
+        assert isinstance(p[0], int) and p[0] == 2
+
+    def test_rejects_float(self):
+        with pytest.raises(GeometryError):
+            Point([1.5, 2])
+
+    def test_rejects_bool(self):
+        with pytest.raises(GeometryError):
+            Point([True])
+
+
+class TestArithmetic:
+    def test_add(self):
+        assert Point.of(1, 2) + Point.of(3, 4) == (4, 6)
+
+    def test_add_plain_tuple(self):
+        assert Point.of(1, 2) + (3, 4) == (4, 6)
+
+    def test_sub(self):
+        assert Point.of(5, 5) - Point.of(2, 3) == (3, 2)
+
+    def test_neg(self):
+        assert -Point.of(1, -2) == (-1, 2)
+
+    def test_scalar_mul(self):
+        assert Point.of(1, 2) * 3 == (3, 6)
+        assert 3 * Point.of(1, 2) == (3, 6)
+
+    def test_scalar_div(self):
+        assert Point.of(2, 4) / 2 == (1, 2)
+
+    def test_fractional_div(self):
+        p = Point.of(1, 2) / 2
+        assert p == (Fraction(1, 2), 1)
+        assert not p.is_integral
+
+    def test_div_by_zero(self):
+        with pytest.raises(GeometryError):
+            Point.of(1) / 0
+
+    def test_dim_mismatch(self):
+        with pytest.raises(GeometryError):
+            Point.of(1, 2) + Point.of(1, 2, 3)
+
+    def test_with_coord(self):
+        # the paper's (x; i: e) notation
+        assert Point.of(1, 2, 3).with_coord(1, 9) == (1, 9, 3)
+
+    def test_result_type_is_point(self):
+        assert isinstance(Point.of(1) + Point.of(1), Point)
+        assert isinstance(Point.of(1) * 2, Point)
+
+
+class TestDotSgnNb:
+    def test_dot(self):
+        assert dot(Point.of(1, 2, 3), Point.of(4, 5, 6)) == 32
+
+    def test_dot_mismatch(self):
+        with pytest.raises(GeometryError):
+            dot(Point.of(1), Point.of(1, 2))
+
+    @pytest.mark.parametrize("v,expected", [(5, 1), (0, 0), (-3, -1)])
+    def test_sgn(self, v, expected):
+        assert sgn(v) == expected
+
+    def test_sgn_fraction(self):
+        assert sgn(Fraction(-1, 2)) == -1
+
+    def test_nb_true(self):
+        assert nb(Point.of(1, -1, 0))
+
+    def test_nb_false(self):
+        assert not nb(Point.of(2, 0))
+
+    def test_nb_fractional(self):
+        assert nb(Point.of(Fraction(1, 2), 1))
+
+
+class TestGcdReduce:
+    def test_basic(self):
+        assert gcd_reduce(Point.of(0, -8)) == (Point.of(0, -1), 8)
+
+    def test_coprime(self):
+        assert gcd_reduce(Point.of(2, 3)) == (Point.of(2, 3), 1)
+
+    def test_paper_d2(self):
+        # Appendix D.2: (2,-2) reduces by gcd 2 to (1,-1)
+        assert gcd_reduce(Point.of(2, -2)) == (Point.of(1, -1), 2)
+
+    def test_paper_e2(self):
+        # Appendix E.2: (3,3,3) reduces by gcd 3 to (1,1,1)
+        assert gcd_reduce(Point.of(3, 3, 3)) == (Point.of(1, 1, 1), 3)
+
+    def test_zero(self):
+        assert gcd_reduce(Point.of(0, 0)) == (Point.of(0, 0), 1)
+
+
+class TestVectorQuotient:
+    def test_exact(self):
+        assert vector_quotient(Point.of(4, -8), Point.of(1, -2)) == 4
+
+    def test_zero_numerator(self):
+        assert vector_quotient(Point.of(0, 0), Point.of(1, 2)) == 0
+
+    def test_zero_both(self):
+        assert vector_quotient(Point.of(0, 0), Point.of(0, 0)) == 0
+
+    def test_not_multiple(self):
+        with pytest.raises(GeometryError):
+            vector_quotient(Point.of(1, 2), Point.of(1, 1))
+
+    def test_not_integer(self):
+        with pytest.raises(GeometryError):
+            vector_quotient(Point.of(1, 1), Point.of(2, 2))
+
+    def test_zero_component_respected(self):
+        assert vector_quotient(Point.of(0, 6), Point.of(0, 2)) == 3
+        with pytest.raises(GeometryError):
+            vector_quotient(Point.of(1, 6), Point.of(0, 2))
+
+    def test_paper_count_formula(self):
+        # Appendix E.1: ((0,0,n) // (0,0,1)) + 1 == n + 1
+        n = 7
+        assert vector_quotient(Point.of(0, 0, n), Point.of(0, 0, 1)) + 1 == n + 1

@@ -1,0 +1,112 @@
+"""Unit tests for the basic-statement AST (repro.lang.expr)."""
+
+import pytest
+
+from repro.lang.expr import (
+    Assign,
+    BinOp,
+    Body,
+    Branch,
+    Condition,
+    Const,
+    IndexExpr,
+    StreamRead,
+)
+from repro.symbolic import Affine
+from repro.util.errors import SourceProgramError
+
+i = Affine.var("i")
+
+
+class TestExpressions:
+    def test_const(self):
+        assert Const(5).evaluate({}, {}) == 5
+
+    def test_stream_read(self):
+        assert StreamRead("a").evaluate({"a": 7}, {}) == 7
+
+    def test_stream_read_missing(self):
+        with pytest.raises(SourceProgramError):
+            StreamRead("a").evaluate({}, {})
+
+    def test_index_expr(self):
+        assert IndexExpr(2 * i + 1).evaluate({}, {"i": 3}) == 7
+
+    def test_binop_arith(self):
+        e = BinOp("+", Const(1), BinOp("*", StreamRead("a"), StreamRead("b")))
+        assert e.evaluate({"a": 2, "b": 3}, {}) == 7
+
+    def test_binop_minmax(self):
+        assert BinOp("min", Const(2), Const(5)).evaluate({}, {}) == 2
+        assert BinOp("max", Const(2), Const(5)).evaluate({}, {}) == 5
+
+    def test_binop_bad_op(self):
+        with pytest.raises(SourceProgramError):
+            BinOp("%", Const(1), Const(1))
+
+    def test_stream_reads_collected(self):
+        e = BinOp("+", StreamRead("a"), BinOp("*", StreamRead("b"), Const(1)))
+        assert e.stream_reads() == {"a", "b"}
+
+
+class TestCondition:
+    def test_eq(self):
+        c = Condition(i - 2, "==")
+        assert c.evaluate({"i": 2})
+        assert not c.evaluate({"i": 3})
+
+    @pytest.mark.parametrize(
+        "rel,val,expected",
+        [("<=", 0, True), ("<", 0, False), (">=", 0, True), (">", 1, True), ("!=", 1, True)],
+    )
+    def test_relations(self, rel, val, expected):
+        assert Condition(i, rel).evaluate({"i": val}) is expected
+
+    def test_bad_relation(self):
+        with pytest.raises(SourceProgramError):
+            Condition(i, "~")
+
+
+class TestBody:
+    def body_mac(self):
+        # c := c + a * b
+        return Body.single_assign(
+            "c", BinOp("+", StreamRead("c"), BinOp("*", StreamRead("a"), StreamRead("b")))
+        )
+
+    def test_single_assign_execute(self):
+        out = self.body_mac().execute({"a": 2, "b": 3, "c": 10}, {})
+        assert out == {"a": 2, "b": 3, "c": 16}
+
+    def test_execute_does_not_mutate_input(self):
+        values = {"a": 1, "b": 1, "c": 0}
+        self.body_mac().execute(values, {})
+        assert values["c"] == 0
+
+    def test_streams_accessed(self):
+        b = self.body_mac()
+        assert b.streams_read() == {"a", "b", "c"}
+        assert b.streams_written() == {"c"}
+        assert b.streams_accessed() == {"a", "b", "c"}
+
+    def test_guarded_branch_taken(self):
+        body = Body(
+            (
+                Branch(Condition(i, "=="), (Assign("c", Const(99)),)),
+                Branch(None, (Assign("c", BinOp("+", StreamRead("c"), Const(1))),)),
+            )
+        )
+        assert body.execute({"c": 0}, {"i": 0})["c"] == 100  # both branches
+        assert body.execute({"c": 0}, {"i": 5})["c"] == 1  # only second
+
+    def test_sequential_branches_see_updates(self):
+        body = Body(
+            (
+                Branch(None, (Assign("c", Const(5)),)),
+                Branch(None, (Assign("c", BinOp("*", StreamRead("c"), Const(2))),)),
+            )
+        )
+        assert body.execute({"c": 0}, {})["c"] == 10
+
+    def test_str_forms(self):
+        assert "c :=" in str(self.body_mac())

@@ -1,0 +1,189 @@
+"""Tests for the sequential oracle, validator and dependence analysis."""
+
+import pytest
+
+from repro.geometry import Matrix, Point
+from repro.lang import (
+    check_step_function,
+    dependence_vectors,
+    parse_program,
+    run_sequential,
+    validate_program,
+)
+from repro.lang.interpreter import initial_state
+from repro.util.errors import (
+    RequirementViolation,
+    RestrictionViolation,
+    SourceProgramError,
+    SystolicSpecError,
+)
+from tests.lang.test_parser_program import MATMUL, POLYPROD
+
+
+def poly_inputs(n):
+    return {
+        "a": {Point.of(i): i + 1 for i in range(n + 1)},
+        "b": {Point.of(j): 2 * j + 1 for j in range(n + 1)},
+        "c": 0,
+    }
+
+
+class TestSequentialOracle:
+    def test_polyprod_matches_direct_computation(self):
+        n = 4
+        p = parse_program(POLYPROD)
+        final = run_sequential(p, {"n": n}, poly_inputs(n))
+        a = [i + 1 for i in range(n + 1)]
+        b = [2 * j + 1 for j in range(n + 1)]
+        expect = [0] * (2 * n + 1)
+        for i in range(n + 1):
+            for j in range(n + 1):
+                expect[i + j] += a[i] * b[j]
+        assert [final["c"][Point.of(k)] for k in range(2 * n + 1)] == expect
+
+    def test_matmul_matches_numpy(self):
+        import numpy as np
+
+        n = 3
+        p = parse_program(MATMUL)
+        rng = np.random.default_rng(42)
+        a = rng.integers(-5, 6, size=(n + 1, n + 1))
+        b = rng.integers(-5, 6, size=(n + 1, n + 1))
+        inputs = {
+            "a": {Point.of(i, k): int(a[i, k]) for i in range(n + 1) for k in range(n + 1)},
+            "b": {Point.of(k, j): int(b[k, j]) for k in range(n + 1) for j in range(n + 1)},
+            "c": 0,
+        }
+        final = run_sequential(p, {"n": n}, inputs)
+        expect = a @ b
+        for i in range(n + 1):
+            for j in range(n + 1):
+                assert final["c"][Point.of(i, j)] == expect[i, j]
+
+    def test_inputs_default_zero(self):
+        p = parse_program(POLYPROD)
+        final = run_sequential(p, {"n": 1})
+        assert all(v == 0 for v in final["c"].values())
+
+    def test_missing_input_element_rejected(self):
+        p = parse_program(POLYPROD)
+        with pytest.raises(SourceProgramError):
+            initial_state(p, {"n": 2}, {"a": {Point.of(0): 1}})
+
+    def test_input_outside_space_rejected(self):
+        p = parse_program(POLYPROD)
+        bad = {Point.of(i): 0 for i in range(5)}  # a has 3 elements at n=2
+        with pytest.raises(SourceProgramError):
+            initial_state(p, {"n": 2}, {"a": bad})
+
+    def test_guarded_body(self):
+        text = """
+size n
+var a[0..n], b[0..n]
+for i = 0 <- 1 -> n
+for j = 0 <- 1 -> n
+  if j == 0 -> a[i] := 0
+  a[i] := a[i] + b[j]
+"""
+        p = parse_program(text)
+        final = run_sequential(p, {"n": 2}, {"b": {Point.of(j): j for j in range(3)}, "a": 7})
+        # a[i] is reset at j=0 then accumulates b[0]+b[1]+b[2] = 3
+        assert all(final["a"][Point.of(i)] == 3 for i in range(3))
+
+
+class TestValidate:
+    def test_polyprod_valid(self):
+        validate_program(parse_program(POLYPROD))
+
+    def test_matmul_valid(self):
+        validate_program(parse_program(MATMUL))
+
+    def test_single_loop_rejected(self):
+        from repro.lang.expr import Body, StreamRead, BinOp
+        from repro.lang.program import Loop, SourceProgram
+        from repro.lang.stream import Stream
+        from repro.lang.variables import IndexedVariable
+
+        # One loop: index maps would have to be 0 x 1; not a systolic program.
+        prog = SourceProgram(
+            loops=(Loop.of("i", 0, 5),),
+            streams=(),
+            body=Body.single_assign("a", StreamRead("a")),
+        )
+        with pytest.raises((RequirementViolation, RestrictionViolation)):
+            validate_program(prog)
+
+    def test_wrong_variable_dimension(self):
+        text = """
+size n
+var a[0..n, 0..n], b[0..n, 0..n]
+for i = 0 <- 1 -> n
+for j = 0 <- 1 -> n
+  a[i,j] := a[i,j] + b[j,i]
+"""
+        # 2-d variables in a 2-loop program: must be (r-1)=1-dimensional.
+        with pytest.raises((RequirementViolation, RestrictionViolation)):
+            validate_program(parse_program(text))
+
+    def test_partial_coverage_rejected(self):
+        text = """
+size n
+var a[0..2*n], b[0..n]
+for i = 0 <- 1 -> n
+for j = 0 <- 1 -> n
+  a[i] := a[i] + b[j]
+"""
+        # a has 2n+1 elements but only n+1 are accessed
+        with pytest.raises(RestrictionViolation):
+            validate_program(parse_program(text))
+
+
+class TestDependence:
+    def test_polyprod_vectors(self):
+        p = parse_program(POLYPROD)
+        deps = dependence_vectors(p)
+        assert deps["a"] == Point.of(0, 1)
+        assert deps["b"] == Point.of(1, 0)
+        assert deps["c"] == Point.of(1, -1)
+
+    def test_matmul_vectors(self):
+        p = parse_program(MATMUL)
+        deps = dependence_vectors(p)
+        assert deps["a"] == Point.of(0, 1, 0)
+        assert deps["b"] == Point.of(1, 0, 0)
+        assert deps["c"] == Point.of(0, 0, 1)
+
+    def test_negative_step_orientation(self):
+        text = """
+size n
+var a[0..n], b[0..n]
+for i = 0 <- 1 -> n
+for j = 0 <- -1 -> n
+  a[i] := a[i] + b[j]
+"""
+        p = parse_program(text)
+        # loop j runs from n down to 0, so the a-dependence points along -j
+        assert dependence_vectors(p)["a"] == Point.of(0, -1)
+
+    def test_paper_step_functions_valid(self):
+        check_step_function(parse_program(POLYPROD), Matrix([[2, 1]]))
+        check_step_function(parse_program(MATMUL), Matrix([[1, 1, 1]]))
+
+    def test_violating_step_rejected(self):
+        # step = i - j maps the c-dependence (1,-1) to 2 > 0 but the
+        # a-dependence (0,1) to -1 < 0 -- a is read-only, so the failure is
+        # b/c of the written stream? a is read-only: -1 != 0 is fine.
+        # b-dependence (1,0) -> 1 > 0.  c is written: (1,-1) -> 2 > 0. Valid!
+        check_step_function(parse_program(POLYPROD), Matrix([[1, -1]]))
+        # step = j - i maps written stream c's dependence (1,-1) to -2.
+        with pytest.raises(SystolicSpecError):
+            check_step_function(parse_program(POLYPROD), Matrix([[-1, 1]]))
+
+    def test_zero_step_for_readonly_rejected(self):
+        # step = (1, 0) maps a's dependence (0,1) to 0: shared access.
+        with pytest.raises(SystolicSpecError):
+            check_step_function(parse_program(POLYPROD), Matrix([[1, 0]]))
+
+    def test_bad_shape(self):
+        with pytest.raises(SystolicSpecError):
+            check_step_function(parse_program(POLYPROD), Matrix([[1, 1, 1]]))

@@ -1,0 +1,74 @@
+"""Round-trip tests: SourceProgram.to_source() -> parse_program."""
+
+import pytest
+
+from repro import parse_program, run_sequential
+from repro.systolic import (
+    all_paper_designs,
+    rectangular_matmul_program,
+    reversed_polyprod_program,
+)
+from repro.verify import random_inputs
+
+
+def roundtrip(prog, env):
+    reparsed = parse_program(prog.to_source())
+    assert reparsed.name == prog.name
+    assert reparsed.loops == prog.loops
+    assert [s.index_map for s in reparsed.streams] == [
+        s.index_map for s in prog.streams
+    ]
+    assert [s.variable for s in reparsed.streams] == [
+        s.variable for s in prog.streams
+    ]
+    inputs = random_inputs(prog, env, seed=9)
+    assert run_sequential(prog, env, inputs) == run_sequential(reparsed, env, inputs)
+    return reparsed
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("idx", [0, 2])
+    def test_paper_programs(self, idx):
+        prog = all_paper_designs()[idx][1]
+        roundtrip(prog, {"n": 2})
+
+    def test_negative_step(self):
+        prog = reversed_polyprod_program()
+        reparsed = roundtrip(prog, {"n": 3})
+        assert reparsed.loops[1].step == -1
+
+    def test_multiple_size_symbols(self):
+        prog = rectangular_matmul_program()
+        reparsed = roundtrip(prog, {"l": 2, "m": 3, "p": 2})
+        assert set(reparsed.size_symbols) == {"l", "m", "p"}
+
+    def test_guarded_body(self):
+        text = """
+program guarded
+size n
+var a[0..n], b[0..n]
+for i = 0 <- 1 -> n
+for j = 0 <- 1 -> n
+    if j == 0 -> a[i] := 0
+    a[i] := a[i] + b[j]
+"""
+        prog = parse_program(text)
+        reparsed = roundtrip(prog, {"n": 3})
+        assert reparsed.body.branches[0].condition is not None
+
+    def test_minmax_body(self):
+        text = """
+size n
+var a[0..n], b[0..n]
+for i = 0 <- 1 -> n
+for j = 0 <- 1 -> n
+    a[i] := min(a[i], b[j])
+"""
+        prog = parse_program(text)
+        roundtrip(prog, {"n": 3})
+
+    def test_source_is_plain_text(self):
+        src = all_paper_designs()[0][1].to_source()
+        assert "program polyprod" in src
+        assert "var a[0..n]" in src
+        assert "c[i + j] :=" in src

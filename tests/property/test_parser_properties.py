@@ -1,0 +1,91 @@
+"""Hypothesis tests for the textual front end.
+
+Two kinds: (a) generated *valid* affine expressions round-trip through the
+printer and parser; (b) arbitrary junk never crashes the parser with
+anything but a clean :class:`SourceProgramError`.
+"""
+
+from fractions import Fraction
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lang import parse_affine, parse_program
+from repro.symbolic import Affine
+from repro.util.errors import ReproError, SourceProgramError
+
+names = st.sampled_from(["n", "m", "i", "j", "size1"])
+
+
+@st.composite
+def integer_affines(draw):
+    coeffs = draw(
+        st.dictionaries(names, st.integers(min_value=-9, max_value=9), max_size=3)
+    )
+    const = draw(st.integers(min_value=-20, max_value=20))
+    return Affine({k: v for k, v in coeffs.items()}, const)
+
+
+class TestAffineRoundTrip:
+    @given(integer_affines())
+    @settings(max_examples=100)
+    def test_str_parses_back(self, affine):
+        assert parse_affine(str(affine)) == affine
+
+    @given(integer_affines(), integer_affines())
+    def test_sum_text_parses(self, a, b):
+        text = f"({a}) + ({b})"
+        assert parse_affine(text) == a + b
+
+    @given(integer_affines(), st.integers(min_value=1, max_value=9))
+    def test_scaled_text_parses(self, a, k):
+        text = f"{k} * ({a})"
+        assert parse_affine(text) == a * k
+
+    @given(integer_affines(), st.integers(min_value=1, max_value=9))
+    def test_divided_text_parses(self, a, k):
+        text = f"({a}) / {k}"
+        assert parse_affine(text) == a / k
+
+
+class TestParserRobustness:
+    @given(st.text(max_size=60))
+    @settings(max_examples=150)
+    def test_parse_affine_never_crashes(self, junk):
+        try:
+            parse_affine(junk)
+        except ReproError:
+            pass  # clean library error is the only acceptable failure
+
+    @given(st.text(max_size=200))
+    @settings(max_examples=100)
+    def test_parse_program_never_crashes(self, junk):
+        try:
+            parse_program(junk)
+        except ReproError:
+            pass
+
+    @given(
+        st.lists(
+            st.sampled_from(
+                [
+                    "size n",
+                    "var a[0..n], b[0..n]",
+                    "for i = 0 <- 1 -> n",
+                    "for j = 0 <- 1 -> n",
+                    "  a[i] := a[i] + b[j]",
+                    "program p",
+                    "var a[0..n]",  # duplicate decls etc.
+                    "  q[i] := 1",
+                    "",
+                ]
+            ),
+            max_size=10,
+        )
+    )
+    @settings(max_examples=100)
+    def test_shuffled_fragments_never_crash(self, lines):
+        try:
+            parse_program("\n".join(lines))
+        except ReproError:
+            pass

@@ -1,0 +1,84 @@
+"""Hypothesis tests for piecewise simplification soundness."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.symbolic import Affine, Case, Constraint, Guard, Piecewise
+from repro.util.errors import SymbolicError
+from tests.property.test_symbolic_properties import affines, envs
+
+
+@st.composite
+def simple_guards(draw):
+    count = draw(st.integers(min_value=0, max_value=2))
+    return Guard([Constraint(draw(affines())) for _ in range(count)])
+
+
+@st.composite
+def piecewises(draw):
+    n_cases = draw(st.integers(min_value=0, max_value=3))
+    cases = [Case(draw(simple_guards()), draw(affines())) for _ in range(n_cases)]
+    has_default = draw(st.booleans())
+    if has_default:
+        return Piecewise.with_null_default(cases)
+    return Piecewise(cases)
+
+
+class TestSimplifySoundness:
+    @given(piecewises(), simple_guards(), envs())
+    @settings(max_examples=80)
+    def test_simplify_preserves_first_match_semantics(self, pw, assumptions, env):
+        """Wherever the assumptions hold, the simplified analysis evaluates
+        to the same value (or raises identically)."""
+        if not assumptions.evaluate(env):
+            return
+        simplified = pw.simplify(assumptions)
+
+        def run(p):
+            try:
+                return ("value", p.evaluate(env))
+            except SymbolicError:
+                return ("no-match", None)
+
+        assert run(simplified) == run(pw)
+
+    @given(piecewises(), simple_guards())
+    @settings(max_examples=60)
+    def test_simplify_idempotent(self, pw, assumptions):
+        once = pw.simplify(assumptions)
+        twice = once.simplify(assumptions)
+        assert twice.cases == once.cases
+        assert twice.has_default == once.has_default
+
+    @given(piecewises(), simple_guards())
+    @settings(max_examples=60)
+    def test_simplify_never_grows(self, pw, assumptions):
+        assert len(pw.simplify(assumptions).cases) <= len(pw.cases)
+
+    @given(piecewises(), envs())
+    @settings(max_examples=60)
+    def test_prune_preserves_semantics(self, pw, env):
+        pruned = pw.prune()
+
+        def run(p):
+            try:
+                return ("value", p.evaluate(env))
+            except SymbolicError:
+                return ("no-match", None)
+
+        assert run(pruned) == run(pw)
+
+    @given(piecewises(), envs())
+    @settings(max_examples=60)
+    def test_subs_constant_matches_extended_env(self, pw, env):
+        """Substituting n by its value then evaluating equals evaluating
+        with n bound."""
+        substituted = pw.subs({"n": Affine.constant(env["n"])})
+
+        def run(p, e):
+            try:
+                return ("value", p.evaluate(e))
+            except SymbolicError:
+                return ("no-match", None)
+
+        assert run(substituted, env) == run(pw, env)

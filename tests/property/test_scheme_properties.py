@@ -1,0 +1,226 @@
+"""Hypothesis property tests for the compilation scheme itself.
+
+Random valid (source program, systolic array) pairs are generated from
+pools of rank-(r-1) index maps; ``step``/``place`` come from the bounded
+synthesiser.  For every generated design:
+
+* Theorems 1-11 hold on a concrete instance;
+* soak + count + drain equals the pipe length at every process (the FIFO
+  propagation invariant);
+* the generated program, executed on the simulator, reproduces the
+  sequential oracle exactly.
+
+This searches a much larger design space than the paper's four appendix
+derivations.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from hypothesis import assume, given, settings, HealthCheck
+from hypothesis import strategies as st
+
+from repro.core import compile_systolic
+from repro.geometry import Matrix, Point
+from repro.lang import run_sequential, validate_program
+from repro.lang.expr import Assign, BinOp, Body, Branch, StreamRead
+from repro.lang.program import Loop, SourceProgram
+from repro.lang.stream import Stream
+from repro.lang.variables import IndexedVariable
+from repro.runtime import execute
+from repro.symbolic import Affine
+from repro.systolic import (
+    SystolicArray,
+    check_systolic_array,
+    is_stationary,
+    stream_flow,
+    synthesize_places,
+    synthesize_step,
+)
+from repro.util.errors import ReproError
+from repro.verify import check_all_theorems, random_inputs
+
+N = Affine.var("n")
+
+#: index-map row pools (entries in {-1,0,1} keep variable images contiguous)
+MAP_POOL_R2 = [(1, 0), (0, 1), (1, 1), (1, -1)]
+MAP_POOL_R3 = [
+    ((1, 0, 0), (0, 1, 0)),
+    ((1, 0, 0), (0, 0, 1)),
+    ((0, 1, 0), (0, 0, 1)),
+    ((1, 0, 0), (0, 1, -1)),
+    ((1, 0, 1), (0, 1, 0)),
+    ((1, 1, 0), (0, 0, 1)),
+    ((1, 0, -1), (0, 1, -1)),
+    ((1, 0, 1), (0, 1, 1)),
+]
+
+#: loading & recovery vector candidates per process-space dimension
+LOADING_CANDIDATES = {
+    1: [Point.of(1), Point.of(-1)],
+    2: [Point.of(1, 0), Point.of(0, 1), Point.of(1, 1), Point.of(-1, 0), Point.of(1, -1)],
+}
+
+
+def variable_for(name: str, index_map: Matrix) -> IndexedVariable:
+    """Bounds that make the variable exactly the image of [0,n]^r."""
+    bounds = []
+    for row in index_map.rows:
+        lo = N * sum(min(c, 0) for c in row)
+        hi = N * sum(max(c, 0) for c in row)
+        bounds.append((lo, hi))
+    return IndexedVariable(name, tuple(bounds))
+
+
+def body_for(names: list[str]) -> Body:
+    """s0 := s0 + s1 [* s2 ...]: writes the first stream, reads all."""
+    product = StreamRead(names[1])
+    for other in names[2:]:
+        product = BinOp("*", product, StreamRead(other))
+    expr = BinOp("+", StreamRead(names[0]), product)
+    return Body((Branch(None, (Assign(names[0], expr),)),))
+
+
+@st.composite
+def random_programs(draw):
+    r = draw(st.sampled_from([2, 3]))
+    pool = MAP_POOL_R2 if r == 2 else MAP_POOL_R3
+    n_streams = draw(st.integers(min_value=2, max_value=3))
+    choices = draw(
+        st.lists(
+            st.sampled_from(range(len(pool))),
+            min_size=n_streams,
+            max_size=n_streams,
+            unique=True,
+        )
+    )
+    maps = [
+        Matrix([pool[c]] if r == 2 else list(pool[c])) for c in choices
+    ]
+    names = [f"v{i}" for i in range(n_streams)]
+    streams = tuple(
+        Stream(variable_for(name, m), m) for name, m in zip(names, maps)
+    )
+    loops = tuple(Loop.of(f"i{j}", 0, N) for j in range(r))
+    program = SourceProgram(
+        loops=loops, streams=streams, body=body_for(names), name="random"
+    )
+    try:
+        validate_program(program)
+    except ReproError:
+        assume(False)
+    return program
+
+
+@st.composite
+def random_designs(draw):
+    program = draw(random_programs())
+    try:
+        steps = synthesize_step(program, bound=1)
+    except ReproError:
+        assume(False)
+    step = steps[draw(st.integers(min_value=0, max_value=len(steps) - 1))]
+    places = synthesize_places(program, step, bound=1)
+    assume(places)
+    place = places[draw(st.integers(min_value=0, max_value=len(places) - 1))]
+
+    loading: dict[str, Point] = {}
+    base = SystolicArray(step=step, place=place)
+    for s in program.streams:
+        if is_stationary(stream_flow(base, s)):
+            for candidate in LOADING_CANDIDATES[program.r - 1]:
+                try:
+                    trial = SystolicArray(
+                        step=step,
+                        place=place,
+                        loading_vectors={**loading, s.name: candidate},
+                    )
+                    check_systolic_array(trial, program)
+                except ReproError:
+                    continue
+                loading[s.name] = candidate
+                break
+            else:
+                assume(False)
+    array = SystolicArray(step=step, place=place, loading_vectors=loading)
+    try:
+        compiled = compile_systolic(program, array)
+    except ReproError:
+        assume(False)
+    return program, array, compiled
+
+
+SETTINGS = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.filter_too_much,
+                           HealthCheck.data_too_large],
+)
+
+
+class TestRandomDesigns:
+    @given(random_designs())
+    @SETTINGS
+    def test_theorems_hold(self, design):
+        program, array, _sp = design
+        assert check_all_theorems(program, array, {"n": 2}) == [
+            1, 3, 4, 5, 6, 7, 8, 9, 10, 11,
+        ]
+
+    @given(random_designs())
+    @SETTINGS
+    def test_pipe_conservation(self, design):
+        """soak + count + drain == pipe length (moving);
+        soak + 1 + drain == pipe length (stationary)."""
+        program, array, sp = design
+        env = {"n": 2}
+        for y in sp.process_space(env):
+            binding = sp.bind(y, env)
+            count = sp.count.evaluate(binding)
+            if count is None or count == 0:
+                continue
+            for plan in sp.streams:
+                soak = plan.soak.evaluate(binding)
+                drain = plan.drain.evaluate(binding)
+                total = plan.pass_amount.evaluate(binding)
+                middle = 1 if plan.stationary else count
+                assert soak + middle + drain == total, (y, plan.name)
+
+    @given(random_designs())
+    @SETTINGS
+    def test_execution_matches_oracle(self, design):
+        program, array, sp = design
+        env = {"n": 2}
+        inputs = random_inputs(program, env, seed=11)
+        final, stats = execute(sp, env, inputs, max_rounds=2_000_000)
+        oracle = run_sequential(program, env, inputs)
+        for var in oracle:
+            assert final[var] == oracle[var], var
+        assert stats.makespan > 0
+
+    @given(random_designs())
+    @SETTINGS
+    def test_enumerative_cross_check_clean(self, design):
+        """The full enumerative cross-checker finds no discrepancy in any
+        compilable random design."""
+        from repro.verify import cross_check
+
+        program, array, sp = design
+        report = cross_check(sp, {"n": 2})
+        assert report.ok, report.errors[:3]
+
+    @given(random_designs())
+    @SETTINGS
+    def test_first_last_match_chord_enumeration(self, design):
+        program, array, sp = design
+        env = {"n": 2}
+        chords: dict[Point, list[Point]] = {}
+        for x in program.index_space(env):
+            chords.setdefault(array.place_of(x), []).append(x)
+        for y, chord in chords.items():
+            binding = sp.bind(y, env)
+            by_step = sorted(chord, key=lambda x: array.step_of(x))
+            assert sp.first.evaluate(binding) == by_step[0]
+            assert sp.last.evaluate(binding) == by_step[-1]
+            assert sp.count.evaluate(binding) == len(chord)

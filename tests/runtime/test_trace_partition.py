@@ -1,0 +1,138 @@
+"""Tests for execution tracing and the finite-machine partition extension."""
+
+import pytest
+
+from repro import compile_systolic, run_sequential
+from repro.extensions import (
+    block_assignment,
+    partitioned_execute,
+    round_robin_assignment,
+)
+from repro.extensions.partition import _position_of
+from repro.geometry import Point
+from repro.runtime import build_network
+from repro.runtime.trace import Trace, TraceEvent, trace_run
+from repro.systolic import all_paper_designs
+from repro.util.errors import RuntimeSimulationError
+from repro.verify import random_inputs
+
+ALL = all_paper_designs()
+
+
+def setup_design(idx=0, n=3, seed=0):
+    exp_id, prog, array = ALL[idx]
+    sp = compile_systolic(prog, array)
+    inputs = random_inputs(prog, {"n": n}, seed=seed)
+    oracle = run_sequential(prog, {"n": n}, inputs)
+    return sp, prog, inputs, oracle, n
+
+
+class TestTrace:
+    def test_trace_run_matches_plain_run(self):
+        sp, prog, inputs, oracle, n = setup_design()
+        net = build_network(sp, {"n": n}, inputs)
+        stats, trace = trace_run(net)
+        assert net.host.final == oracle
+        assert trace.makespan == stats.makespan
+
+    def test_event_count_matches_requests(self):
+        sp, prog, inputs, oracle, n = setup_design()
+        net = build_network(sp, {"n": n}, inputs)
+        stats, trace = trace_run(net)
+        # every completed request produced exactly one event
+        assert len(trace.events) == sum(
+            len(evs) for evs in trace.per_process_events().values()
+        )
+        assert len(trace.events) > stats.total_messages  # sends+recvs+pars
+
+    def test_busy_intervals_ordered(self):
+        sp, prog, inputs, oracle, n = setup_design(idx=2)
+        net = build_network(sp, {"n": n}, inputs)
+        _, trace = trace_run(net)
+        for lo, hi in trace.busy_intervals().values():
+            assert 0 <= lo <= hi <= trace.makespan
+
+    def test_utilisation_bounds(self):
+        sp, prog, inputs, oracle, n = setup_design(idx=2)
+        net = build_network(sp, {"n": n}, inputs)
+        _, trace = trace_run(net)
+        for u in trace.utilisation().values():
+            assert u > 0
+
+    def test_wavefront_sums_to_events(self):
+        sp, prog, inputs, oracle, n = setup_design()
+        net = build_network(sp, {"n": n}, inputs)
+        _, trace = trace_run(net)
+        assert sum(trace.wavefront().values()) == len(trace.events)
+
+    def test_summary_text(self):
+        t = Trace([TraceEvent("P(0,)", 3, "send"), TraceEvent("P(0,)", 5, "recv")])
+        assert "2 events" in t.summary()
+        assert t.compute_processes() == ["P(0,)"]
+
+
+class TestAssignments:
+    def test_position_parsing(self):
+        assert _position_of("P(1, 2)") == Point.of(1, 2)
+        assert _position_of("B:a(0, -3)") == Point.of(0, -3)
+        assert _position_of("L:b(2,)#0") == Point.of(2)
+        assert _position_of("IN:a(-3, 1)") == Point.of(-3, 1)
+        assert _position_of("noparens") is None
+
+    def test_round_robin_covers_all_workers(self):
+        names = [f"P({i},)" for i in range(10)]
+        mapping = round_robin_assignment(names, 3)
+        assert set(mapping.values()) == {0, 1, 2}
+
+    def test_block_contiguity(self):
+        names = [f"P({i},)" for i in range(8)]
+        mapping = block_assignment(names, 2)
+        # sorted-by-position processes split into two slabs
+        first = [n for n, w in mapping.items() if w == 0]
+        second = [n for n, w in mapping.items() if w == 1]
+        assert len(first) == len(second) == 4
+        assert max(_position_of(n)[0] for n in first) < min(
+            _position_of(n)[0] for n in second
+        )
+
+    def test_invalid_worker_count(self):
+        with pytest.raises(RuntimeSimulationError):
+            round_robin_assignment(["a"], 0)
+        with pytest.raises(RuntimeSimulationError):
+            block_assignment(["a"], 0)
+
+
+class TestPartitionedExecution:
+    @pytest.mark.parametrize("workers", [1, 2, 4])
+    @pytest.mark.parametrize("assignment", ["block", "round_robin"])
+    def test_results_invariant_under_fold(self, workers, assignment):
+        sp, prog, inputs, oracle, n = setup_design(idx=0)
+        final, stats = partitioned_execute(
+            sp, {"n": n}, inputs, workers=workers, assignment=assignment
+        )
+        assert final == oracle
+        assert stats.makespan > 0
+
+    def test_makespan_monotone_in_workers(self):
+        sp, prog, inputs, oracle, n = setup_design(idx=2, n=4)
+        spans = []
+        for w in (1, 2, 4, 16):
+            _, stats = partitioned_execute(sp, {"n": n}, inputs, workers=w)
+            spans.append(stats.makespan)
+        assert spans == sorted(spans, reverse=True)
+        assert spans[0] > 2 * spans[-1]  # folding to 1 worker hurts a lot
+
+    def test_single_worker_serializes_everything(self):
+        """On one worker the makespan is at least one tick per event (plus
+        a little slack where message stamps straddle the serialization)."""
+        sp, prog, inputs, oracle, n = setup_design(idx=0, n=2)
+        net = build_network(sp, {"n": n}, inputs)
+        unbounded_stats, trace = trace_run(net)
+        _, stats = partitioned_execute(sp, {"n": n}, inputs, workers=1)
+        assert stats.makespan >= len(trace.events)
+        assert stats.makespan <= len(trace.events) + unbounded_stats.makespan
+
+    def test_unknown_assignment(self):
+        sp, prog, inputs, oracle, n = setup_design()
+        with pytest.raises(RuntimeSimulationError):
+            partitioned_execute(sp, {"n": n}, inputs, workers=2, assignment="zigzag")

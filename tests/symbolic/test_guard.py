@@ -1,0 +1,123 @@
+"""Unit tests for repro.symbolic.guard."""
+
+import pytest
+
+from repro.symbolic import Affine, Constraint, Guard, interval
+from repro.util.errors import GuardError
+
+n = Affine.var("n")
+col = Affine.var("col")
+row = Affine.var("row")
+
+
+class TestConstraint:
+    def test_ge(self):
+        c = Constraint.ge(col, 0)
+        assert c.evaluate({"col": 0})
+        assert not c.evaluate({"col": -1})
+
+    def test_le(self):
+        c = Constraint.le(col, n)
+        assert c.evaluate({"col": 3, "n": 3})
+        assert not c.evaluate({"col": 4, "n": 3})
+
+    def test_trivial(self):
+        assert Constraint.ge(1, 0).is_trivially_true
+        assert Constraint.ge(0, 1).is_trivially_false
+
+    def test_subs(self):
+        c = Constraint.le(col, n).subs({"col": n})
+        assert c.is_trivially_true or c.evaluate({"n": 5})
+
+    def test_to_linear(self):
+        lin = Constraint.ge(col, n).to_linear(["col", "n"])
+        assert lin.coeffs == (1, -1)
+
+    def test_to_linear_missing_symbol(self):
+        with pytest.raises(GuardError):
+            Constraint.ge(col, n).to_linear(["col"])
+
+    def test_eq_hash(self):
+        assert Constraint.ge(col, 0) == Constraint.ge(col, 0)
+        assert hash(Constraint.ge(col, 0)) == hash(Constraint.ge(col, 0))
+
+
+class TestGuard:
+    def test_true(self):
+        assert Guard.TRUE.is_true
+        assert Guard.TRUE.evaluate({})
+
+    def test_interval(self):
+        g = interval(0, col, n)  # 0 <= col <= n
+        assert g.evaluate({"col": 2, "n": 5})
+        assert not g.evaluate({"col": 6, "n": 5})
+        assert not g.evaluate({"col": -1, "n": 5})
+
+    def test_and(self):
+        g = interval(0, col, n) & interval(0, row, n)
+        assert g.evaluate({"col": 1, "row": 1, "n": 2})
+        assert not g.evaluate({"col": 1, "row": 3, "n": 2})
+
+    def test_and_constraint(self):
+        g = Guard.TRUE & Constraint.ge(col, 1)
+        assert not g.evaluate({"col": 0})
+
+    def test_dedup(self):
+        g = Guard([Constraint.ge(col, 0), Constraint.ge(col, 0)])
+        assert len(g.constraints) == 1
+
+    def test_trivially_true_dropped(self):
+        g = Guard([Constraint.ge(1, 0)])
+        assert g.is_true
+
+    def test_subs(self):
+        g = interval(0, col, n).subs({"col": Affine.constant(-1)})
+        assert g.is_trivially_false
+
+    def test_free_symbols(self):
+        assert interval(0, col, n).free_symbols == {"col", "n"}
+
+
+class TestFeasibility:
+    def test_feasible(self):
+        assert interval(0, col, n).feasible()
+
+    def test_infeasible(self):
+        g = Guard([Constraint.ge(col, 1), Constraint.le(col, 0)])
+        assert not g.feasible()
+
+    def test_feasible_with_assumptions(self):
+        # 0 <= -col <= n  /\  col >= 1 is infeasible
+        g = interval(0, -col, n) & Constraint.ge(col, 1)
+        assert not g.feasible(assumptions=Guard([Constraint.ge(n, 1)]))
+
+    def test_paper_d2_overlap_point(self):
+        # guards 0<=col<=n and n<=col<=2n overlap exactly at col=n
+        g = interval(0, col, n) & interval(n, col, 2 * n)
+        assert g.feasible(assumptions=Guard([Constraint.ge(n, 1)]))
+
+    def test_trivially_false(self):
+        assert not Guard([Constraint.ge(0, 1)]).feasible()
+
+
+class TestImplication:
+    def test_simple_implication(self):
+        g = interval(1, col, n)
+        assert g.implies(Constraint.ge(col, 0))
+
+    def test_non_implication(self):
+        g = interval(0, col, n)
+        assert not g.implies(Constraint.ge(col, 1))
+
+    def test_implies_guard(self):
+        g = interval(2, col, 3)
+        assert g.implies(interval(0, col, 5))
+
+    def test_implication_with_assumptions(self):
+        g = interval(0, col, n)
+        assumptions = Guard([Constraint.ge(n, 0)])
+        assert g.implies(Constraint.ge(n - col, 0), assumptions)
+
+    def test_fractional_coefficients_scaled(self):
+        g = Guard([Constraint.ge(col / 2, 1)])  # col >= 2
+        assert g.implies(Constraint.ge(col, 2))

@@ -1,0 +1,142 @@
+"""Unit tests for repro.symbolic.piecewise."""
+
+import pytest
+
+from repro.symbolic import Affine, AffineVec, Case, Constraint, Guard, Piecewise, interval
+from repro.util.errors import SymbolicError
+
+n = Affine.var("n")
+col = Affine.var("col")
+
+
+def paper_d2_first():
+    """Appendix D.2: first = if 0<=col<=n -> (0,col) [] n<=col<=2n -> (col-n,n) fi"""
+    return Piecewise(
+        [
+            Case(interval(0, col, n), AffineVec.of(0, col)),
+            Case(interval(n, col, 2 * n), AffineVec.of(col - n, n)),
+        ]
+    )
+
+
+class TestEvaluate:
+    def test_first_case(self):
+        pw = paper_d2_first()
+        assert pw.evaluate({"col": 2, "n": 5}) == (0, 2)
+
+    def test_second_case(self):
+        pw = paper_d2_first()
+        assert pw.evaluate({"col": 8, "n": 5}) == (3, 5)
+
+    def test_overlap_agrees(self):
+        # the paper notes guards overlap at col = n and values coincide
+        pw = paper_d2_first()
+        env = {"col": 5, "n": 5}
+        assert len(pw.matching_cases(env)) == 2
+        assert pw.check_overlaps_agree(env)
+        assert pw.evaluate(env) == (0, 5)
+
+    def test_no_case_raises(self):
+        pw = paper_d2_first()
+        with pytest.raises(SymbolicError):
+            pw.evaluate({"col": 99, "n": 5})
+
+    def test_null_default(self):
+        pw = Piecewise.with_null_default(
+            [Case(interval(0, col, n), Affine.constant(1))]
+        )
+        assert pw.evaluate({"col": 99, "n": 5}) is None
+
+    def test_single(self):
+        pw = Piecewise.single(n + 1)
+        assert pw.evaluate({"n": 3}) == 4
+
+    def test_nested(self):
+        inner = Piecewise(
+            [
+                Case(Guard([Constraint.ge(col, 1)]), Affine.constant(10)),
+                Case(Guard([Constraint.le(col, 0)]), Affine.constant(20)),
+            ]
+        )
+        outer = Piecewise([Case(Guard.TRUE, inner)])
+        assert outer.evaluate({"col": 2}) == 10
+        assert outer.evaluate({"col": -1}) == 20
+
+
+class TestSubs:
+    def test_subs_guard_and_value(self):
+        pw = paper_d2_first().subs({"col": Affine.constant(3)})
+        assert pw.evaluate({"n": 5}) == (0, 3)
+
+    def test_subs_preserves_default(self):
+        pw = Piecewise.with_null_default([]).subs({"col": 1})
+        assert pw.has_default
+        assert pw.evaluate({}) is None
+
+
+class TestPrune:
+    def test_prunes_infeasible(self):
+        pw = Piecewise(
+            [
+                Case(interval(0, col, n), Affine.constant(1)),
+                Case(Guard([Constraint.ge(col, 1), Constraint.le(col, 0)]), Affine.constant(2)),
+            ]
+        )
+        pruned = pw.prune()
+        assert len(pruned.cases) == 1
+
+    def test_prune_with_assumptions(self):
+        # case requires col >= n+1, assumption pins col <= n
+        pw = Piecewise(
+            [
+                Case(Guard([Constraint.ge(col, n + 1)]), Affine.constant(1)),
+                Case(Guard([Constraint.le(col, n)]), Affine.constant(2)),
+            ]
+        )
+        pruned = pw.prune(assumptions=Guard([Constraint.le(col, n)]))
+        # col >= n+1 together with col <= n is infeasible, so it is dropped
+        assert len(pruned.cases) == 1
+        assert pruned.cases[0].value == Affine.constant(2)
+
+    def test_prune_nested_in_context(self):
+        """Appendix E.2.5: sub-alternatives inconsistent with the enclosing
+        clause guard are removed."""
+        outer_guard = interval(0, -col, n)  # forces col <= 0
+        inner = Piecewise(
+            [
+                Case(interval(0, -col, n), Affine.constant(0)),
+                Case(Guard([Constraint.ge(col, 1)]), col),  # impossible under outer
+            ]
+        )
+        pw = Piecewise([Case(outer_guard, inner)])
+        pruned = pw.prune(assumptions=Guard([Constraint.ge(n, 1)]))
+        inner_pruned = pruned.cases[0].value
+        assert isinstance(inner_pruned, Piecewise)
+        assert len(inner_pruned.cases) == 1
+
+    def test_collapse(self):
+        pw = Piecewise.single(n)
+        assert pw.collapse() is pw.cases[0].value
+        assert paper_d2_first().collapse() is not None
+
+
+class TestMapValues:
+    def test_map(self):
+        pw = paper_d2_first().map_values(lambda v: v + (1, 1))
+        assert pw.evaluate({"col": 0, "n": 5}) == (1, 1)
+
+    def test_map_recurses(self):
+        inner = Piecewise.single(Affine.constant(1))
+        outer = Piecewise([Case(Guard.TRUE, inner)])
+        mapped = outer.map_values(lambda v: v + 1)
+        assert mapped.evaluate({}) == 2
+
+
+class TestDisplay:
+    def test_str_contains_guards(self):
+        s = str(paper_d2_first())
+        assert "if" in s and "fi" in s and "[]" in s
+
+    def test_str_null_default(self):
+        s = str(Piecewise.with_null_default([]))
+        assert "null" in s

@@ -1,0 +1,152 @@
+"""Tests for array checking and for step/place synthesis."""
+
+import pytest
+
+from repro.geometry import Matrix, Point
+from repro.systolic import (
+    SystolicArray,
+    all_paper_designs,
+    check_systolic_array,
+    makespan,
+    matrix_product_program,
+    polynomial_product_program,
+    synthesize_array,
+    synthesize_places,
+    synthesize_step,
+)
+from repro.util.errors import (
+    InconsistentDistributionError,
+    RequirementViolation,
+    SystolicSpecError,
+)
+
+
+class TestCheckSystolicArray:
+    def test_all_paper_designs_pass(self):
+        for exp_id, prog, array in all_paper_designs():
+            check_systolic_array(array, prog)
+
+    def test_incompatible_step_place(self):
+        # place=(i), step=(1,0): step vanishes on null.place=(0,1)
+        prog = polynomial_product_program()
+        array = SystolicArray(
+            step=Matrix([[1, 0]]),
+            place=Matrix([[1, 0]]),
+            loading_vectors={"a": Point.of(1)},
+        )
+        with pytest.raises(InconsistentDistributionError):
+            check_systolic_array(array, prog)
+
+    def test_non_neighbour_flow_rejected(self):
+        # D.2.3's note: place=(i-j) gives flow.c = 2
+        prog = polynomial_product_program()
+        array = SystolicArray(step=Matrix([[2, 1]]), place=Matrix([[1, -1]]))
+        with pytest.raises(RequirementViolation):
+            check_systolic_array(array, prog)
+
+    def test_arity_mismatch(self):
+        prog = matrix_product_program()
+        with pytest.raises(SystolicSpecError):
+            check_systolic_array(
+                SystolicArray(step=Matrix([[2, 1]]), place=Matrix([[1, 0]])), prog
+            )
+
+    def test_bad_loading_vector_neighbourhood(self):
+        prog = matrix_product_program()
+        array = SystolicArray(
+            step=Matrix([[1, 1, 1]]),
+            place=Matrix([[1, 0, 0], [0, 1, 0]]),
+            loading_vectors={"c": Point.of(2, 0)},  # not a neighbour hop
+        )
+        with pytest.raises(RequirementViolation):
+            check_systolic_array(array, prog)
+
+
+class TestMakespan:
+    def test_polyprod_step(self):
+        prog = polynomial_product_program()
+        # step = 2i+j over [0,n]^2 spans 0 .. 3n, so makespan = 3n+1
+        assert makespan(prog, Matrix([[2, 1]]), {"n": 4}) == 13
+
+    def test_matmul_step(self):
+        prog = matrix_product_program()
+        assert makespan(prog, Matrix([[1, 1, 1]]), {"n": 4}) == 13
+
+
+class TestSynthesizeStep:
+    def test_polyprod_optimum(self):
+        """The synthesiser can beat the paper's step 2i+j: step i-j has
+        makespan 2n+1 (a's dependence is read-only, so a negative step
+        component along j is legal).  The paper's step must still be valid,
+        just not minimal under this metric."""
+        prog = polynomial_product_program()
+        best = synthesize_step(prog, bound=2)
+        spans = {makespan(prog, s, {"n": 4}) for s in best}
+        assert spans == {9}  # 2n+1 at n=4
+        assert Matrix([[1, -1]]) in best
+        # the paper's step is valid but spans 3n+1:
+        from repro.lang import check_step_function
+
+        check_step_function(prog, Matrix([[2, 1]]))
+        assert makespan(prog, Matrix([[2, 1]]), {"n": 4}) == 13
+
+    def test_matmul_optimum_contains_paper_step(self):
+        prog = matrix_product_program()
+        best = synthesize_step(prog, bound=1)
+        assert Matrix([[1, 1, 1]]) in best
+
+    def test_all_results_valid(self):
+        from repro.lang import check_step_function
+
+        prog = polynomial_product_program()
+        for s in synthesize_step(prog, bound=2):
+            check_step_function(prog, s)
+
+    def test_impossible_bound(self):
+        # bound=0 leaves no non-zero candidates
+        prog = polynomial_product_program()
+        with pytest.raises(SystolicSpecError):
+            synthesize_step(prog, bound=0)
+
+
+class TestSynthesizePlaces:
+    def test_polyprod_contains_paper_places(self):
+        prog = polynomial_product_program()
+        places = synthesize_places(prog, Matrix([[2, 1]]), bound=1)
+        assert Matrix([[1, 0]]) in places
+        assert Matrix([[1, 1]]) in places
+
+    def test_paper_d23_place_excluded(self):
+        # place=(i-j) has flow.c = 2: excluded by the neighbour filter
+        prog = polynomial_product_program()
+        places = synthesize_places(prog, Matrix([[2, 1]]), bound=1)
+        assert Matrix([[1, -1]]) not in places
+        unfiltered = synthesize_places(
+            prog, Matrix([[2, 1]]), bound=1, require_neighbour_flows=False
+        )
+        assert Matrix([[1, -1]]) in unfiltered
+
+    def test_matmul_contains_both_paper_places(self):
+        """Places are deduplicated up to row order, so compare row sets."""
+        prog = matrix_product_program()
+        places = synthesize_places(prog, Matrix([[1, 1, 1]]), bound=1)
+        row_sets = {frozenset(p.rows) for p in places}
+        assert frozenset({(1, 0, 0), (0, 1, 0)}) in row_sets
+        assert frozenset({(1, 0, -1), (0, 1, -1)}) in row_sets
+
+    def test_all_results_have_full_rank(self):
+        prog = matrix_product_program()
+        for p in synthesize_places(prog, Matrix([[1, 1, 1]]), bound=1):
+            assert p.rank == prog.r - 1
+
+
+class TestSynthesizeArray:
+    def test_polyprod_end_to_end(self):
+        prog = polynomial_product_program()
+        array = synthesize_array(prog)
+        check_systolic_array(array, prog)
+
+    def test_matmul_end_to_end(self):
+        prog = matrix_product_program()
+        array = synthesize_array(prog)
+        check_systolic_array(array, prog)

@@ -1,0 +1,82 @@
+"""Tests for the cross-correlation design (opposing stream flows)."""
+
+import pytest
+
+from repro.core import compile_systolic
+from repro.geometry import Point
+from repro.symbolic import Affine, AffineVec
+from repro.systolic import all_flows, correlation_design, correlation_program
+from repro.verify import check_all_theorems, verify_design
+
+n = Affine.var("n")
+col = Affine.var("col")
+
+
+class TestCorrelationCompile:
+    def test_opposing_flows(self):
+        flows = all_flows(correlation_design(), correlation_program())
+        assert flows["x"] == Point.of(-1)
+        assert flows["y"] == Point.of(1)
+        assert flows["r"] == Point.of(0)  # stationary lag accumulators
+
+    def test_negative_variable_bounds(self):
+        prog = correlation_program()
+        r = prog.stream("r").variable
+        assert r.bounds[0][0] == -n
+        assert r.space({"n": 3}).lo == Point.of(-3)
+
+    def test_process_per_lag(self):
+        sp = compile_systolic(correlation_program(), correlation_design())
+        assert sp.ps_min == AffineVec.of(-n)
+        assert sp.ps_max == AffineVec.of(n)
+
+    def test_first_cases(self):
+        sp = compile_systolic(correlation_program(), correlation_design())
+        values = [c.value for c in sp.first.cases]
+        assert AffineVec.of(0, -col) in values  # negative lags start at i=0
+        assert AffineVec.of(col, 0) in values  # positive lags start at j=0
+
+    def test_count_peak_at_zero_lag(self):
+        sp = compile_systolic(correlation_program(), correlation_design())
+        env = {"n": 4}
+        counts = {
+            c: sp.count.evaluate({**env, "col": c}) for c in range(-4, 5)
+        }
+        assert counts[0] == 5  # full overlap at lag 0
+        assert counts[4] == 1 == counts[-4]
+        assert all(counts[c] == 5 - abs(c) for c in counts)
+
+    def test_theorems(self):
+        assert len(
+            check_all_theorems(correlation_program(), correlation_design(), {"n": 3})
+        ) == 10
+
+
+class TestCorrelationExecution:
+    @pytest.mark.parametrize("size", [1, 2, 4])
+    def test_oracle(self, size):
+        report = verify_design(
+            correlation_program(), correlation_design(), {"n": size}, seed=size
+        )
+        assert report.matched
+
+    def test_actual_correlation_values(self):
+        from repro.runtime import execute
+
+        sp = compile_systolic(correlation_program(), correlation_design())
+        size = 3
+        x = [1, 2, 3, 4]
+        y = [1, 0, -1, 2]
+        inputs = {
+            "x": {Point.of(i): x[i] for i in range(size + 1)},
+            "y": {Point.of(j): y[j] for j in range(size + 1)},
+            "r": 0,
+        }
+        final, _ = execute(sp, {"n": size}, inputs)
+        for lag in range(-size, size + 1):
+            expected = sum(
+                x[i] * y[i - lag]
+                for i in range(size + 1)
+                if 0 <= i - lag <= size
+            )
+            assert final["r"][Point.of(lag)] == expected, f"lag {lag}"

@@ -1,0 +1,82 @@
+"""Tests for design-space exploration."""
+
+import pytest
+
+from repro.geometry import Matrix
+from repro.systolic import (
+    DesignCost,
+    cost_of,
+    explore_designs,
+    matmul_design_e1,
+    matmul_design_e2,
+    matrix_product_program,
+    polynomial_product_program,
+    polyprod_design_d1,
+)
+
+
+class TestCostOf:
+    def test_e1_cost(self):
+        prog = matrix_product_program()
+        cost = cost_of(prog, matmul_design_e1(), {"n": 4})
+        assert cost.processes == 25  # (n+1)^2
+        assert cost.null_processes == 0
+        assert cost.stationary_streams == 1
+        assert cost.latch_buffers == 0
+
+    def test_e2_cost(self):
+        prog = matrix_product_program()
+        cost = cost_of(prog, matmul_design_e2(), {"n": 4})
+        assert cost.processes == 81  # (2n+1)^2
+        assert cost.null_processes == 20  # square minus hexagon
+        assert cost.stationary_streams == 0
+
+    def test_d1_latches(self):
+        prog = polynomial_product_program()
+        cost = cost_of(prog, polyprod_design_d1(), {"n": 4})
+        assert cost.latch_buffers == 5  # one per process for stream b
+
+    def test_total_cells(self):
+        prog = matrix_product_program()
+        cost = cost_of(prog, matmul_design_e1(), {"n": 2})
+        assert cost.total_cells == cost.processes + cost.io_processes
+
+
+class TestExplore:
+    def test_matmul_space(self):
+        prog = matrix_product_program()
+        costs = explore_designs(prog, Matrix([[1, 1, 1]]), {"n": 3}, bound=1)
+        assert len(costs) > 50  # a real design space
+        # sorted by total cells ascending
+        totals = [c.total_cells for c in costs]
+        assert totals == sorted(totals)
+
+    def test_paper_designs_present(self):
+        prog = matrix_product_program()
+        costs = explore_designs(prog, Matrix([[1, 1, 1]]), {"n": 3}, bound=1)
+        row_sets = {frozenset(c.place.rows) for c in costs}
+        assert frozenset({(1, 0, 0), (0, 1, 0)}) in row_sets  # E.1
+        assert frozenset({(1, 0, -1), (0, 1, -1)}) in row_sets  # E.2
+
+    def test_e1_family_beats_e2_family(self):
+        """The compact grid with a stationary accumulator costs fewer cells
+        than the Kung-Leiserson hexagon -- the trade-off the paper's two
+        appendix E designs illustrate, quantified."""
+        prog = matrix_product_program()
+        costs = explore_designs(prog, Matrix([[1, 1, 1]]), {"n": 3}, bound=1)
+        by_rows = {frozenset(c.place.rows): c for c in costs}
+        e1 = by_rows[frozenset({(1, 0, 0), (0, 1, 0)})]
+        e2 = by_rows[frozenset({(1, 0, -1), (0, 1, -1)})]
+        assert e1.total_cells < e2.total_cells
+        assert e2.stationary_streams == 0 < e1.stationary_streams
+
+    def test_limit(self):
+        prog = polynomial_product_program()
+        costs = explore_designs(prog, Matrix([[2, 1]]), {"n": 3}, bound=1, limit=2)
+        assert len(costs) == 2
+
+    def test_every_cost_is_designcost(self):
+        prog = polynomial_product_program()
+        costs = explore_designs(prog, Matrix([[2, 1]]), {"n": 3}, bound=1)
+        assert all(isinstance(c, DesignCost) for c in costs)
+        assert all("place" in c.row() for c in costs)

@@ -1,0 +1,137 @@
+"""Tests for catalogue designs beyond the paper's four appendices."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core import compile_systolic
+from repro.geometry import Point
+from repro.symbolic import Affine, AffineVec
+from repro.systolic import (
+    check_systolic_array,
+    polyprod_design_reversed,
+    rectangular_matmul_program,
+    rectmm_design,
+    reversed_polyprod_program,
+)
+from repro.verify import check_all_theorems, verify_design
+
+n = Affine.var("n")
+col = Affine.var("col")
+row = Affine.var("row")
+
+
+class TestReversedPolyprod:
+    """Negative inner-loop step: st_j = -1, flow.c = 1/3."""
+
+    def test_checks_pass(self):
+        check_systolic_array(polyprod_design_reversed(), reversed_polyprod_program())
+
+    def test_increment_flipped(self):
+        sp = compile_systolic(reversed_polyprod_program(), polyprod_design_reversed())
+        assert sp.increment == Point.of(0, -1)
+
+    def test_first_starts_at_right_bound(self):
+        """With st_j = -1 the first statement of each chord is at j = n."""
+        sp = compile_systolic(reversed_polyprod_program(), polyprod_design_reversed())
+        assert sp.first.collapse() == AffineVec.of(col, n)
+        assert sp.last.collapse() == AffineVec.of(col, 0)
+
+    def test_flows_and_latches(self):
+        sp = compile_systolic(reversed_polyprod_program(), polyprod_design_reversed())
+        assert sp.plan("b").flow == Point.of(Fraction(1, 2))
+        assert sp.plan("c").flow == Point.of(Fraction(1, 3))
+        assert sp.plan("c").internal_buffers() == 2
+        assert sp.plan("a").stationary
+
+    def test_reversed_io_order(self):
+        """Elements are consumed in decreasing index order: {n 0 -1}."""
+        sp = compile_systolic(reversed_polyprod_program(), polyprod_design_reversed())
+        assert sp.plan("b").increment_s == Point.of(-1)
+        env = {"col": 0, "n": 5}
+        assert sp.plan("b").first_s.evaluate(env) == Point.of(5)
+        assert sp.plan("b").last_s.evaluate(env) == Point.of(0)
+
+    @pytest.mark.parametrize("size", [1, 3, 5])
+    def test_end_to_end(self, size):
+        report = verify_design(
+            reversed_polyprod_program(),
+            polyprod_design_reversed(),
+            {"n": size},
+            seed=size,
+        )
+        assert report.matched
+
+    def test_theorems(self):
+        assert len(
+            check_all_theorems(
+                reversed_polyprod_program(), polyprod_design_reversed(), {"n": 3}
+            )
+        ) == 10
+
+
+class TestRectangularMatmul:
+    """Three independent problem-size symbols l, m, p."""
+
+    def test_symbolic_in_all_sizes(self):
+        sp = compile_systolic(rectangular_matmul_program(), rectmm_design())
+        assert sp.ps_max == AffineVec.of(Affine.var("l"), Affine.var("m"))
+        assert sp.count.collapse() == Affine.var("p") + 1
+
+    def test_io_repeaters(self):
+        sp = compile_systolic(rectangular_matmul_program(), rectmm_design())
+        env = {"col": 1, "row": 2, "l": 3, "m": 4, "p": 5}
+        # a[i,k]: pipe along rows of a, k = 0..p
+        assert sp.plan("a").first_s.evaluate(env) == Point.of(1, 0)
+        assert sp.plan("a").last_s.evaluate(env) == Point.of(1, 5)
+        # b[k,j]: pipe along columns, k = 0..p
+        assert sp.plan("b").first_s.evaluate(env) == Point.of(0, 2)
+        assert sp.plan("b").last_s.evaluate(env) == Point.of(5, 2)
+        # c stationary, loaded along (1,0): row of c
+        assert sp.plan("c").first_s.evaluate(env) == Point.of(0, 2)
+        assert sp.plan("c").last_s.evaluate(env) == Point.of(3, 2)
+
+    def test_loading_amounts_in_l(self):
+        sp = compile_systolic(rectangular_matmul_program(), rectmm_design())
+        # loading passes = l - col (independent of m, p)
+        assert sp.plan("c").drain.collapse() == Affine.var("l") - col
+        assert sp.plan("c").soak.collapse() == col
+
+    @pytest.mark.parametrize("sizes", [(1, 1, 1), (2, 4, 3), (3, 1, 4)])
+    def test_end_to_end_asymmetric(self, sizes):
+        l, m, p = sizes
+        report = verify_design(
+            rectangular_matmul_program(),
+            rectmm_design(),
+            {"l": l, "m": m, "p": p},
+            seed=l + m + p,
+        )
+        assert report.matched
+
+    def test_matches_numpy(self):
+        import numpy as np
+
+        from repro.runtime import execute
+
+        sp = compile_systolic(rectangular_matmul_program(), rectmm_design())
+        l, m, p = 2, 3, 4
+        rng = np.random.default_rng(5)
+        a = rng.integers(-5, 6, size=(l + 1, p + 1))
+        b = rng.integers(-5, 6, size=(p + 1, m + 1))
+        inputs = {
+            "a": {Point.of(i, k): int(a[i, k]) for i in range(l + 1) for k in range(p + 1)},
+            "b": {Point.of(k, j): int(b[k, j]) for k in range(p + 1) for j in range(m + 1)},
+            "c": 0,
+        }
+        final, _ = execute(sp, {"l": l, "m": m, "p": p}, inputs)
+        expect = a @ b
+        for i in range(l + 1):
+            for j in range(m + 1):
+                assert final["c"][Point.of(i, j)] == expect[i, j]
+
+    def test_theorems(self):
+        assert len(
+            check_all_theorems(
+                rectangular_matmul_program(), rectmm_design(), {"l": 2, "m": 3, "p": 2}
+            )
+        ) == 10

@@ -1,0 +1,164 @@
+"""Tests for systolic specs and flow derivation against the paper's values."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.geometry import Matrix, Point
+from repro.systolic import (
+    SystolicArray,
+    all_flows,
+    flow_denominator,
+    is_stationary,
+    matmul_design_e1,
+    matmul_design_e2,
+    matrix_product_program,
+    polynomial_product_program,
+    polyprod_design_d1,
+    polyprod_design_d2,
+    stream_flow,
+)
+from repro.util.errors import RequirementViolation, SystolicSpecError
+
+
+class TestSpecValidation:
+    def test_paper_designs_construct(self):
+        polyprod_design_d1()
+        polyprod_design_d2()
+        matmul_design_e1()
+        matmul_design_e2()
+
+    def test_step_must_be_single_row(self):
+        with pytest.raises(SystolicSpecError):
+            SystolicArray(step=Matrix([[1, 0], [0, 1]]), place=Matrix([[1, 0]]))
+
+    def test_place_shape_checked(self):
+        with pytest.raises(SystolicSpecError):
+            SystolicArray(step=Matrix([[1, 1, 1]]), place=Matrix([[1, 0, 0]]))
+
+    def test_place_rank_checked(self):
+        with pytest.raises(SystolicSpecError):
+            SystolicArray(
+                step=Matrix([[1, 1, 1]]),
+                place=Matrix([[1, 0, 0], [2, 0, 0]]),
+            )
+
+    def test_loading_vector_dim_checked(self):
+        with pytest.raises(SystolicSpecError):
+            SystolicArray(
+                step=Matrix([[2, 1]]),
+                place=Matrix([[1, 0]]),
+                loading_vectors={"a": Point.of(1, 0)},
+            )
+
+    def test_zero_loading_vector_rejected(self):
+        with pytest.raises(SystolicSpecError):
+            SystolicArray(
+                step=Matrix([[2, 1]]),
+                place=Matrix([[1, 0]]),
+                loading_vectors={"a": Point.of(0)},
+            )
+
+    def test_missing_loading_vector_raises(self):
+        with pytest.raises(SystolicSpecError):
+            polyprod_design_d2().loading_vector("a")
+
+    def test_null_place(self):
+        assert polyprod_design_d1().null_place() == Point.of(0, 1)
+        assert matmul_design_e2().null_place() == Point.of(1, 1, 1)
+
+    def test_step_of_place_of(self):
+        d2 = polyprod_design_d2()
+        assert d2.step_of(Point.of(1, 1)) == 3
+        assert d2.place_of(Point.of(1, 1)) == Point.of(2)
+
+
+class TestFlowsD1:
+    """Appendix D.1: flow.a = 0, flow.b = 1/2, flow.c = 1."""
+
+    def test_flows(self):
+        prog = polynomial_product_program()
+        flows = all_flows(polyprod_design_d1(), prog)
+        assert flows["a"] == Point.of(0)
+        assert flows["b"] == Point.of(Fraction(1, 2))
+        assert flows["c"] == Point.of(1)
+
+    def test_stationary(self):
+        prog = polynomial_product_program()
+        flows = all_flows(polyprod_design_d1(), prog)
+        assert is_stationary(flows["a"])
+        assert not is_stationary(flows["b"])
+
+
+class TestFlowsD2:
+    """Appendix D.2: flow.a = 1, flow.b = 1/2, flow.c = 0."""
+
+    def test_flows(self):
+        prog = polynomial_product_program()
+        flows = all_flows(polyprod_design_d2(), prog)
+        assert flows["a"] == Point.of(1)
+        assert flows["b"] == Point.of(Fraction(1, 2))
+        assert flows["c"] == Point.of(0)
+
+
+class TestFlowsE1:
+    """Appendix E.1: flow.a = (0,1), flow.b = (1,0), flow.c = (0,0)."""
+
+    def test_flows(self):
+        prog = matrix_product_program()
+        flows = all_flows(matmul_design_e1(), prog)
+        assert flows["a"] == Point.of(0, 1)
+        assert flows["b"] == Point.of(1, 0)
+        assert flows["c"] == Point.of(0, 0)
+
+
+class TestFlowsE2:
+    """Appendix E.2: flow.a = (0,1), flow.b = (1,0), flow.c = (-1,-1)."""
+
+    def test_flows(self):
+        prog = matrix_product_program()
+        flows = all_flows(matmul_design_e2(), prog)
+        assert flows["a"] == Point.of(0, 1)
+        assert flows["b"] == Point.of(1, 0)
+        assert flows["c"] == Point.of(-1, -1)
+
+
+class TestFlowErrors:
+    def test_flow_undefined_when_step_kills_null(self):
+        # place=(i), step=(1,0): step maps a's null (0,1) to 0.
+        prog = polynomial_product_program()
+        array = SystolicArray(step=Matrix([[1, 0]]), place=Matrix([[1, 0]]))
+        with pytest.raises(SystolicSpecError):
+            stream_flow(array, prog.stream("a"))
+
+    def test_paper_d23_note_flow_2_rejected(self):
+        """D.2.3's note: with place.(i,j) = i-j, flow.c = 2, which violates
+        the neighbouring-communication restriction."""
+        prog = polynomial_product_program()
+        array = SystolicArray(step=Matrix([[2, 1]]), place=Matrix([[1, -1]]))
+        flow_c = stream_flow(array, prog.stream("c"))
+        assert flow_c == Point.of(2)
+        with pytest.raises(RequirementViolation):
+            flow_denominator(flow_c)
+
+
+class TestFlowDenominator:
+    def test_unit_flow(self):
+        assert flow_denominator(Point.of(1, 0)) == 1
+
+    def test_half_flow(self):
+        assert flow_denominator(Point.of(Fraction(1, 2))) == 2
+
+    def test_diagonal(self):
+        assert flow_denominator(Point.of(-1, -1)) == 1
+
+    def test_zero(self):
+        assert flow_denominator(Point.of(0, 0)) == 1
+
+    def test_mixed_magnitudes_rejected(self):
+        with pytest.raises(RequirementViolation):
+            flow_denominator(Point.of(1, Fraction(1, 2)))
+
+    def test_non_unit_numerator_rejected(self):
+        with pytest.raises(RequirementViolation):
+            flow_denominator(Point.of(Fraction(2, 3)))

@@ -1,0 +1,94 @@
+"""Tests for the command-line interface."""
+
+import json
+import pathlib
+
+import pytest
+
+from repro.cli import load_design, main, parse_sizes
+from repro.util.errors import ReproError
+
+SPECS = pathlib.Path(__file__).resolve().parent.parent / "examples" / "specs"
+SOURCE = str(SPECS / "polyprod.src")
+DESIGN = str(SPECS / "d1.json")
+
+
+class TestHelpers:
+    def test_parse_sizes(self):
+        assert parse_sizes(["n=4", "m=2"]) == {"n": 4, "m": 2}
+
+    def test_parse_sizes_bad(self):
+        with pytest.raises(ReproError):
+            parse_sizes(["n:4"])
+
+    def test_load_design(self):
+        array = load_design(DESIGN)
+        assert array.step.rows[0] == (2, 1)
+        assert array.name == "D.1 place=(i)"
+        assert "a" in array.loading_vectors
+
+    def test_load_design_without_loading(self, tmp_path):
+        spec = tmp_path / "e2.json"
+        spec.write_text(
+            json.dumps({"step": [[1, 1, 1]], "place": [[1, 0, -1], [0, 1, -1]]})
+        )
+        array = load_design(str(spec))
+        assert array.name == "e2"
+        assert not array.loading_vectors
+
+
+class TestCommands:
+    def test_compile(self, capsys):
+        assert main(["compile", SOURCE, DESIGN]) == 0
+        out = capsys.readouterr().out
+        assert "systolic program" in out
+        assert "parfor col" in out
+
+    def test_compile_emit_c(self, capsys):
+        assert main(["compile", SOURCE, DESIGN, "--emit", "c"]) == 0
+        assert "void compute(" in capsys.readouterr().out
+
+    def test_compile_emit_none(self, capsys):
+        assert main(["compile", SOURCE, DESIGN, "--emit", "none"]) == 0
+        assert "parfor" not in capsys.readouterr().out
+
+    def test_verify_ok(self, capsys):
+        assert main(["verify", SOURCE, DESIGN, "-s", "n=4"]) == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_verify_capacity_zero(self, capsys):
+        assert main(["verify", SOURCE, DESIGN, "-s", "n=3", "--capacity", "0"]) == 0
+
+    def test_synthesize(self, capsys):
+        assert main(["synthesize", SOURCE, "--bound", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "step candidate" in out
+        assert "compatible place" in out
+
+    def test_designs(self, capsys):
+        assert main(["designs"]) == 0
+        out = capsys.readouterr().out
+        for exp in ("D1", "D2", "E1", "E2"):
+            assert exp in out
+
+    def test_error_exit_code(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({"step": [[1, 0]], "place": [[1, 0]]}))
+        # step vanishes on null.place: compile must fail with code 2
+        assert main(["compile", SOURCE, str(bad)]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_incompatible_design_verify(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({"step": [[1, 1]], "place": [[1, 0]]}))
+        # step (1,1) maps c's dependence (1,-1) to 0: rejected
+        assert main(["verify", SOURCE, str(bad), "-s", "n=2"]) == 2
+
+
+class TestExplore:
+    def test_explore(self, capsys):
+        assert main(["explore", SOURCE, "-s", "n=4", "--limit", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "procs" in out and "total" in out
+        # at most limit data rows under the two header lines
+        assert len([l for l in out.splitlines() if l and l[0] == " "]) <= 8

@@ -1,0 +1,40 @@
+"""Smoke tests: every example script runs to completion.
+
+The examples contain their own assertions (oracle / NumPy comparisons), so
+running them is a real integration test, not just an import check.
+"""
+
+import pathlib
+import runpy
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+EXAMPLE_SCRIPTS = sorted(
+    p.name
+    for p in EXAMPLES_DIR.glob("*.py")
+    if not p.name.startswith("generated_")  # artefacts written by examples
+)
+
+
+def test_examples_directory_found():
+    assert EXAMPLE_SCRIPTS, f"no examples in {EXAMPLES_DIR}"
+    assert "quickstart.py" in EXAMPLE_SCRIPTS
+
+
+@pytest.mark.parametrize("script", EXAMPLE_SCRIPTS)
+def test_example_runs(script, capsys):
+    path = EXAMPLES_DIR / script
+    runpy.run_path(str(path), run_name="__main__")
+    out = capsys.readouterr().out
+    assert out.strip(), f"{script} produced no output"
+
+
+def test_example_count_matches_readme_table():
+    """The README documents the examples; keep the set in sync."""
+    readme = (EXAMPLES_DIR.parent / "README.md").read_text()
+    documented = {s for s in EXAMPLE_SCRIPTS if f"examples/{s}" in readme}
+    # every script is runnable; at least the core five are documented
+    assert {"quickstart.py", "polynomial_product.py", "matrix_multiplication.py",
+            "fir_filter.py", "codegen_tour.py"} <= documented

@@ -1,0 +1,114 @@
+"""Larger-scale smoke tests: the substrate at sizes beyond the unit tests.
+
+Kept fast enough for the default suite (a few seconds total) but large
+enough to exercise thousands of processes, deep pipelines, and big chord
+enumerations.
+"""
+
+import pytest
+
+from repro import compile_systolic, run_sequential
+from repro.runtime import Channel, Recv, Scheduler, Send, execute
+from repro.systolic import all_paper_designs
+from repro.verify import random_inputs
+
+ALL = all_paper_designs()
+
+
+class TestLargeDesigns:
+    def test_d1_n32(self):
+        exp_id, prog, array = ALL[0]
+        sp = compile_systolic(prog, array)
+        n = 32
+        inputs = random_inputs(prog, {"n": n}, seed=1)
+        final, stats = execute(sp, {"n": n}, inputs)
+        assert final == run_sequential(prog, {"n": n}, inputs)
+        # n+1 compute, n+1 latches (stream b), 3 inputs, 3 outputs
+        assert stats.process_count == 2 * (n + 1) + 6
+
+    def test_e2_n6(self):
+        exp_id, prog, array = ALL[3]
+        sp = compile_systolic(prog, array)
+        n = 6
+        inputs = random_inputs(prog, {"n": n}, seed=2)
+        final, stats = execute(sp, {"n": n}, inputs)
+        assert final == run_sequential(prog, {"n": n}, inputs)
+        assert stats.process_count > 300
+
+    def test_d2_n24(self):
+        exp_id, prog, array = ALL[1]
+        sp = compile_systolic(prog, array)
+        n = 24
+        inputs = random_inputs(prog, {"n": n}, seed=3)
+        final, stats = execute(sp, {"n": n}, inputs)
+        assert final == run_sequential(prog, {"n": n}, inputs)
+
+
+class TestSchedulerScale:
+    def test_thousand_process_pipeline(self):
+        stages = 1000
+        sched = Scheduler()
+        chans = [sched.add_channel(Channel(f"c{i}")) for i in range(stages + 1)]
+
+        def stage(i):
+            def body():
+                for _ in range(3):
+                    v = yield Recv(chans[i])
+                    yield Send(chans[i + 1], v + 1)
+
+            return body()
+
+        def src():
+            for k in range(3):
+                yield Send(chans[0], k)
+
+        got = []
+
+        def sink():
+            for _ in range(3):
+                got.append((yield Recv(chans[stages])))
+
+        sched.spawn("src", src())
+        for i in range(stages):
+            sched.spawn(f"s{i}", stage(i))
+        sched.spawn("sink", sink())
+        stats = sched.run()
+        assert got == [stages, stages + 1, stages + 2]
+        assert stats.process_count == stages + 2
+        # pipeline makespan is Theta(stages + messages), not their product
+        assert stats.makespan < 3 * (stages + 3)
+
+    def test_wide_fan(self):
+        width = 500
+        sched = Scheduler()
+        chans = [sched.add_channel(Channel(f"c{i}")) for i in range(width)]
+        total = []
+
+        def sender(i):
+            def body():
+                yield Send(chans[i], i)
+
+            return body()
+
+        def receiver():
+            acc = 0
+            for c in chans:
+                acc += yield Recv(c)
+            total.append(acc)
+
+        for i in range(width):
+            sched.spawn(f"snd{i}", sender(i))
+        sched.spawn("rcv", receiver())
+        sched.run()
+        assert total == [width * (width - 1) // 2]
+
+
+class TestCompileScale:
+    def test_compile_is_size_independent(self):
+        """One compiled object instantiates at any n without recompiling."""
+        exp_id, prog, array = ALL[3]
+        sp = compile_systolic(prog, array)
+        assert sp.process_space({"n": 1}).size == 9
+        assert sp.process_space({"n": 50}).size == 101 * 101
+        # symbolic artefacts unchanged by instantiation
+        assert len(sp.first.cases) == 3

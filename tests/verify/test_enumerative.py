@@ -1,0 +1,92 @@
+"""Tests for the enumerative cross-checker."""
+
+import dataclasses
+
+import pytest
+
+from repro import compile_systolic
+from repro.symbolic import Affine, Piecewise
+from repro.systolic import (
+    all_paper_designs,
+    correlation_design,
+    correlation_program,
+    polyprod_design_reversed,
+    rectangular_matmul_program,
+    rectmm_design,
+    reversed_polyprod_program,
+)
+from repro.verify import cross_check
+
+ALL = all_paper_designs()
+
+
+class TestCleanDesigns:
+    @pytest.mark.parametrize("idx", [0, 1, 2, 3])
+    @pytest.mark.parametrize("n", [1, 3])
+    def test_paper_designs_clean(self, idx, n):
+        exp_id, prog, array = ALL[idx]
+        sp = compile_systolic(prog, array)
+        report = cross_check(sp, {"n": n})
+        assert report.ok, report.errors[:3]
+        assert report.chords_checked > 0
+        assert report.pipes_checked > 0
+
+    def test_catalogue_extensions_clean(self):
+        for prog, design in (
+            (correlation_program(), correlation_design()),
+            (reversed_polyprod_program(), polyprod_design_reversed()),
+        ):
+            sp = compile_systolic(prog, design)
+            assert cross_check(sp, {"n": 3}).ok
+
+    def test_rectangular_clean(self):
+        sp = compile_systolic(rectangular_matmul_program(), rectmm_design())
+        assert cross_check(sp, {"l": 2, "m": 3, "p": 2}).ok
+
+    def test_report_str(self):
+        exp_id, prog, array = ALL[0]
+        sp = compile_systolic(prog, array)
+        assert "OK" in str(cross_check(sp, {"n": 2}))
+
+
+class TestDetectsCorruption:
+    def corrupt(self, sp, **overrides):
+        return dataclasses.replace(sp, **overrides)
+
+    def test_wrong_count_detected(self):
+        exp_id, prog, array = ALL[0]
+        sp = compile_systolic(prog, array)
+        bad = self.corrupt(sp, count=Piecewise.single(Affine.constant(99)))
+        report = cross_check(bad, {"n": 2})
+        assert not report.ok
+        assert any("count" in e for e in report.errors)
+
+    def test_wrong_first_detected(self):
+        exp_id, prog, array = ALL[0]
+        sp = compile_systolic(prog, array)
+        bad = self.corrupt(sp, first=sp.last)  # swap ends
+        report = cross_check(bad, {"n": 2})
+        assert any("first" in e for e in report.errors)
+
+    def test_wrong_soak_detected(self):
+        exp_id, prog, array = ALL[0]
+        sp = compile_systolic(prog, array)
+        plans = list(sp.streams)
+        c_idx = next(i for i, p in enumerate(plans) if p.name == "c")
+        plans[c_idx] = dataclasses.replace(
+            plans[c_idx], soak=Piecewise.single(Affine.constant(0))
+        )
+        bad = self.corrupt(sp, streams=tuple(plans))
+        report = cross_check(bad, {"n": 3})
+        assert any("soak" in e for e in report.errors)
+
+    def test_wrong_pass_amount_detected(self):
+        exp_id, prog, array = ALL[2]
+        sp = compile_systolic(prog, array)
+        plans = list(sp.streams)
+        plans[0] = dataclasses.replace(
+            plans[0], pass_amount=Piecewise.single(Affine.constant(1))
+        )
+        bad = self.corrupt(sp, streams=tuple(plans))
+        report = cross_check(bad, {"n": 2})
+        assert any("Eq.10" in e for e in report.errors)

@@ -1,0 +1,185 @@
+"""Failure injection: corrupt executions must be *detected*, not absorbed.
+
+The verification layer is only trustworthy if it actually fails when
+something goes wrong.  Each test injects one fault into an otherwise
+correct network -- a dropped message, a corrupted value, a dead process, a
+mis-sized pass loop -- and asserts the corresponding detector (deadlock
+report, oracle comparison, host accounting, topology validation) fires.
+"""
+
+import pytest
+
+from repro import compile_systolic, run_sequential
+from repro.geometry import Point
+from repro.runtime import Recv, Send, build_network
+from repro.systolic import all_paper_designs
+from repro.util.errors import DeadlockError, RuntimeSimulationError
+from repro.verify import random_inputs
+
+ALL = all_paper_designs()
+
+
+def fresh(idx=0, n=3, seed=0):
+    exp_id, prog, array = ALL[idx]
+    sp = compile_systolic(prog, array)
+    inputs = random_inputs(prog, {"n": n}, seed=seed)
+    oracle = run_sequential(prog, {"n": n}, inputs)
+    return sp, prog, inputs, oracle, n
+
+
+def find_proc(net, prefix):
+    for p in net.scheduler._procs:
+        if p.name.startswith(prefix):
+            return p
+    raise AssertionError(f"no process starting with {prefix}")
+
+
+class TestDroppedMessage:
+    def test_swallowing_one_value_deadlocks(self):
+        """Replace a latch with one that eats its first value: the element
+        count stops adding up and the network deadlocks with a report that
+        names blocked processes."""
+        sp, prog, inputs, oracle, n = fresh(idx=0)
+        net = build_network(sp, {"n": n}, inputs)
+        victim = find_proc(net, "L:b")
+        original = victim.gen
+
+        def dropper(inner):
+            value = None
+            first = True
+            while True:
+                try:
+                    op = inner.send(value)
+                except StopIteration:
+                    return
+                if first and isinstance(op, Send):
+                    first = False
+                    value = None  # swallow: skip the send entirely
+                    continue
+                value = yield op
+
+        victim.gen = dropper(original)
+        with pytest.raises(DeadlockError) as err:
+            net.run()
+        assert "waiting on" in str(err.value)
+
+
+class TestCorruptedValue:
+    def test_flipped_value_caught_by_oracle(self):
+        """A latch that corrupts one payload produces a wrong result; the
+        run completes but the oracle comparison must fail."""
+        sp, prog, inputs, oracle, n = fresh(idx=0)
+        net = build_network(sp, {"n": n}, inputs)
+        victim = find_proc(net, "L:b")
+        original = victim.gen
+
+        def corruptor(inner):
+            value = None
+            corrupted = False
+            while True:
+                try:
+                    op = inner.send(value)
+                except StopIteration:
+                    return
+                if not corrupted and isinstance(op, Send):
+                    corrupted = True
+                    op = Send(op.channel, op.value + 1000)
+                value = yield op
+
+        victim.gen = corruptor(original)
+        net.run()
+        assert net.host.final != oracle  # the fault is visible end to end
+
+
+class TestDeadProcess:
+    def test_killed_compute_process_deadlocks(self):
+        sp, prog, inputs, oracle, n = fresh(idx=2)
+        net = build_network(sp, {"n": n}, inputs)
+        victim = find_proc(net, "P(1, 1)")
+
+        def corpse():
+            return
+            yield  # pragma: no cover
+
+        victim.gen = corpse()
+        with pytest.raises(DeadlockError):
+            net.run()
+
+    def test_killed_input_process_deadlocks(self):
+        sp, prog, inputs, oracle, n = fresh(idx=0)
+        net = build_network(sp, {"n": n}, inputs)
+        victim = find_proc(net, "IN:c")
+
+        def corpse():
+            return
+            yield  # pragma: no cover
+
+        victim.gen = corpse()
+        with pytest.raises(DeadlockError):
+            net.run()
+
+
+class TestHostAccounting:
+    def test_duplicate_output_detected(self):
+        """An output process writing one element twice is an error even if
+        the values agree."""
+        sp, prog, inputs, oracle, n = fresh(idx=0)
+        net = build_network(sp, {"n": n}, inputs)
+        host = net.host
+        host.write_element("c", Point.of(0), 7)
+        with pytest.raises(RuntimeSimulationError):
+            host.write_element("c", Point.of(0), 7)
+
+    def test_partial_recovery_detected(self):
+        from repro.runtime import execute
+
+        sp, prog, inputs, oracle, n = fresh(idx=0)
+        # run fine, then check that a *fresh* host complains
+        from repro.runtime.host import Host
+
+        host = Host(prog, {"n": n}, inputs)
+        host.write_element("a", Point.of(0), 1)
+        with pytest.raises(RuntimeSimulationError) as err:
+            host.check_full_recovery("a")
+        assert "never recovered" in str(err.value)
+
+
+class TestMiscountedPass:
+    def test_short_latch_deadlocks(self):
+        """A latch that passes one element too few leaves a value stranded."""
+        sp, prog, inputs, oracle, n = fresh(idx=0)
+        net = build_network(sp, {"n": n}, inputs)
+        victim = find_proc(net, "L:b")
+        original = victim.gen
+
+        def short(inner):
+            value = None
+            steps = 0
+            while True:
+                try:
+                    op = inner.send(value)
+                except StopIteration:
+                    return
+                steps += 1
+                if steps > 2 * (n + 1) - 2:  # stop one recv/send pair early
+                    return
+                value = yield op
+
+        victim.gen = short(original)
+        with pytest.raises(DeadlockError):
+            net.run()
+
+    def test_deadlock_report_is_actionable(self):
+        sp, prog, inputs, oracle, n = fresh(idx=0)
+        net = build_network(sp, {"n": n}, inputs)
+        victim = find_proc(net, "IN:a")
+
+        def corpse():
+            return
+            yield  # pragma: no cover
+
+        victim.gen = corpse()
+        with pytest.raises(DeadlockError) as err:
+            net.run()
+        message = str(err.value)
+        assert "a_chan" in message  # names the stuck channel family
