@@ -70,6 +70,9 @@ class ProcessNetwork:
     node_counts: dict[str, int] = field(default_factory=dict)
     #: (stream name, PS point) -> whole-pipe element count of its chain
     chain_totals: dict = field(default_factory=dict)
+    #: CS point -> (step count, {stream: (soak, drain)}) -- the per-node
+    #: amounts the builder evaluated once while wiring the compute nodes
+    amounts: dict = field(default_factory=dict)
 
     def run(self, max_rounds: int | None = None) -> SchedulerStats:
         return self.scheduler.run(max_rounds=max_rounds)
@@ -85,21 +88,19 @@ class ProcessNetwork:
         enumeration and the run would deadlock; raising here gives a much
         better diagnostic.  (Per-channel producer/consumer uniqueness holds
         by construction of the builder.)
+
+        The per-node amounts come from :attr:`amounts`, evaluated once by
+        the builder while wiring the compute nodes; the chain totals are
+        read live so later corruption is still caught.
         """
-        sp, env = self.program, self.env
-        for y in sp.process_space(env):
-            if not sp.in_computation_space(y, env):
-                continue
-            binding = sp.bind(y, env)
-            count = _as_count(sp.count.evaluate(binding))
-            for plan in sp.streams:
+        for y, (count, per_stream) in self.amounts.items():
+            for plan in self.program.streams:
                 total = self.chain_totals.get((plan.name, y))
                 if total is None:
                     raise RuntimeSimulationError(
                         f"no chain covers {plan.name} at {y}"
                     )
-                soak = _as_count(plan.soak.evaluate(binding))
-                drain = _as_count(plan.drain.evaluate(binding))
+                soak, drain = per_stream[plan.name]
                 middle = 1 if plan.stationary else count
                 if soak + middle + drain != total:
                     raise RuntimeSimulationError(
@@ -132,6 +133,27 @@ class _NetworkBuilder:
         #: fooled on all-buffer pipes of designs outside the paper's four)
         self.chain_total: dict[tuple[str, Point], int] = {}
         self.node_counts = {"compute": 0, "buffer": 0, "latch": 0, "input": 0, "output": 0}
+        #: memoized per-point symbolic work, shared by the stream wiring,
+        #: the node construction and validate_topology: binding dicts,
+        #: CS membership, and (count, {stream: (soak, drain)}) amounts
+        self._bindings: dict[Point, dict] = {}
+        self._in_cs_cache: dict[Point, bool] = {}
+        self.amounts: dict[Point, tuple[int, dict[str, tuple[int, int]]]] = {}
+
+    def _bind(self, y: Point) -> dict:
+        binding = self._bindings.get(y)
+        if binding is None:
+            binding = self._bindings[y] = self.sp.bind(y, self.env)
+        return binding
+
+    def _in_cs(self, y: Point) -> bool:
+        member = self._in_cs_cache.get(y)
+        if member is None:
+            first = self.sp.first
+            member = self._in_cs_cache[y] = (
+                bool(first.matching_cases(self._bind(y))) or not first.has_default
+            )
+        return member
 
     # ------------------------------------------------------------------
     def _channel(self, name: str) -> Channel:
@@ -166,8 +188,8 @@ class _NetworkBuilder:
         latches = plan.internal_buffers()
         for chain in self._chains(plan.hop):
             start, end = chain[0], chain[-1]
-            binding = sp.bind(start, env)
-            if any(sp.in_computation_space(z, env) for z in chain):
+            binding = self._bind(start)
+            if any(self._in_cs(z) for z in chain):
                 total = _as_count(plan.pass_amount.evaluate(binding))
             else:
                 total = 0  # no basic statement on the pipe: nothing to move
@@ -258,7 +280,7 @@ class _NetworkBuilder:
 
     def _build_compute_node(self, y: Point) -> None:
         sp, env, host = self.sp, self.env, self.host
-        binding = sp.bind(y, env)
+        binding = self._bind(y)
         statements = list(sp.repeater.enumerate_at(binding))
         source = sp.source
         body_ast = source.body
@@ -273,6 +295,7 @@ class _NetworkBuilder:
             )
             for p in sp.streams
         }
+        self.amounts[y] = (_as_count(sp.count.evaluate(binding)), amounts)
         in_ch = {p.name: self.in_chan[p.name][y] for p in sp.streams}
         out_ch = {p.name: self.out_chan[p.name][y] for p in sp.streams}
 
@@ -328,7 +351,7 @@ class _NetworkBuilder:
         for plan in self.sp.streams:
             self._build_stream(plan)
         for y in self.space:
-            if self.sp.in_computation_space(y, self.env):
+            if self._in_cs(y):
                 self._build_compute_node(y)
             else:
                 self._build_buffer_node(y)
@@ -340,6 +363,7 @@ class _NetworkBuilder:
             channel_capacity=self.capacity,
             node_counts=self.node_counts,
             chain_totals=self.chain_total,
+            amounts=self.amounts,
         )
 
 

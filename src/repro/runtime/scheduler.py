@@ -48,7 +48,7 @@ class _Slot:
 
 class _ProcState:
     __slots__ = ("name", "gen", "slots", "was_par", "clock", "yield_clock",
-                 "finished", "steps")
+                 "finished", "steps", "own_slot", "own_list")
 
     def __init__(self, name: str, gen: ProcessBody) -> None:
         self.name = name
@@ -59,6 +59,11 @@ class _ProcState:
         self.yield_clock = 0
         self.finished = False
         self.steps = 0
+        # Reused for every non-Par request: a completed slot is always
+        # unparked before its process resumes, so by the time _advance
+        # resets these no live reference can remain (see _drain_*).
+        self.own_slot = _Slot(None)
+        self.own_list = [self.own_slot]
 
 
 @dataclass
@@ -78,6 +83,7 @@ class Scheduler:
 
     def __init__(self) -> None:
         self._procs: list[_ProcState] = []
+        self._names: set[str] = set()
         self._ready: deque[_ProcState] = deque()
         self._channels: list[Channel] = []
         #: optional finite-machine model: process name -> worker id; when
@@ -114,8 +120,9 @@ class Scheduler:
         return tuple(p.name for p in self._procs)
 
     def spawn(self, name: str, gen: ProcessBody) -> None:
-        if any(p.name == name for p in self._procs):
+        if name in self._names:
             raise RuntimeSimulationError(f"duplicate process name {name!r}")
+        self._names.add(name)
         self._procs.append(_ProcState(name, gen))
 
     # ------------------------------------------------------------------
@@ -212,7 +219,11 @@ class Scheduler:
             slots = [_Slot(sub) for sub in op.ops]
         elif isinstance(op, (Send, Recv)):
             proc.was_par = False
-            slots = [_Slot(op)]
+            slot = proc.own_slot
+            slot.op = op
+            slot.done = False
+            slot.result = None
+            slots = proc.own_list
         else:
             raise RuntimeSimulationError(
                 f"process {proc.name} yielded {op!r}, expected Send/Recv/Par"

@@ -1,0 +1,545 @@
+"""The executable Python backend: compile a systolic program to a
+standalone, stdlib-only Python module and run it.
+
+:func:`render_python` lowers *every* symbolic quantity of the compiled
+program -- ``first``/``count``, ``soak``/``drain``, the i/o repeaters
+``{first_s last_s increment_s}``, and the Eq. 8-10 amounts -- from the
+piecewise-affine layer into guarded flat Python functions (plain ``if``
+chains of ``(affine) >= 0`` tests), and appends a fixed runtime harness.
+The emitted module offers two engines over the same process network:
+
+* ``run(sizes, inputs)`` -- a fast cooperative engine: every process is a
+  generator that yields the channel it wants to receive from; channels are
+  unbounded FIFOs.  No per-message scheduler bookkeeping, no Lamport
+  clocks -- this is the compiled fast path.
+* ``run_threaded(sizes, inputs)`` -- the paper's target model: one thread
+  per process, bounded queues as channels (transputer-style rendezvous
+  approximated by ``queue.Queue(maxsize=1)``).
+
+Both engines execute the *same* generator processes and are bit-for-bit
+equal to the coroutine simulator and to the sequential oracle: the network
+is a Kahn process network (single producer and single consumer per
+channel), so results depend only on the per-channel FIFO sequences, never
+on scheduling or capacities -- the capacity-invariance property the test
+suite asserts for the simulator.
+
+:func:`execute_python` renders, compiles (with a per-source cache), and
+runs the module on dense inputs, returning tuple-keyed final contents.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Mapping
+
+from repro.core.program import SystolicProgram
+from repro.lang.expr import Affine, BinOp, Body, Const, IndexExpr, StreamRead
+from repro.lang.interpreter import initial_state
+from repro.symbolic.affine import AffineVec
+from repro.symbolic.piecewise import Piecewise
+from repro.util.errors import CompilationError
+
+
+class _PyRenderer:
+    """Symbolic layer -> flat Python source, tracking the Fraction need."""
+
+    def __init__(self) -> None:
+        self.needs_fraction = False
+
+    # ------------------------------------------------------------------
+    def num(self, value) -> str:
+        f = Fraction(value)
+        if f.denominator == 1:
+            return str(int(f))
+        self.needs_fraction = True
+        return f"_Fr({f.numerator}, {f.denominator})"
+
+    def affine(self, a: Affine) -> str:
+        terms: list[tuple[Fraction, str | None]] = [
+            (a.coeffs[sym], f"env[{sym!r}]") for sym in sorted(a.coeffs)
+        ]
+        if a.const != 0 or not terms:
+            terms.append((Fraction(a.const), None))
+        parts: list[str] = []
+        for c, sym in terms:
+            mag = abs(c)
+            if sym is None:
+                txt = self.num(mag)
+            elif mag == 1:
+                txt = sym
+            else:
+                txt = f"{self.num(mag)}*{sym}"
+            if not parts:
+                parts.append(txt if c >= 0 else f"-{txt}")
+            else:
+                parts.append(("+ " if c >= 0 else "- ") + txt)
+        return " ".join(parts)
+
+    def guard(self, guard) -> str:
+        if guard.is_true:
+            return "True"
+        return " and ".join(
+            f"({self.affine(c.expr)}) >= 0" for c in guard.constraints
+        )
+
+    # ------------------------------------------------------------------
+    def scalar_leaf(self, value) -> str:
+        if value is None:
+            return "None"
+        if isinstance(value, Affine):
+            return self.affine(value)
+        return self.num(value)
+
+    def vector_leaf(self, value) -> str:
+        if value is None:
+            return "None"
+        if not isinstance(value, AffineVec):
+            raise CompilationError(f"expected an affine vector, got {value!r}")
+        return "(" + ", ".join(self.affine(a) for a in value) + ",)"
+
+    def piecewise_fn(self, name: str, pw: Piecewise, leaf) -> list[str]:
+        lines = [f"def {name}(env):"]
+        lines.extend(self._piecewise_body(pw, leaf, 1))
+        return lines
+
+    def _piecewise_body(self, pw: Piecewise, leaf, depth: int) -> list[str]:
+        pad = "    " * depth
+        out: list[str] = []
+        for case in pw.cases:
+            out.append(f"{pad}if {self.guard(case.guard)}:")
+            if isinstance(case.value, Piecewise):
+                out.extend(self._piecewise_body(case.value, leaf, depth + 1))
+            else:
+                out.append(f"{pad}    return {leaf(case.value)}")
+        if pw.has_default:
+            if isinstance(pw.default, Piecewise):
+                out.extend(self._piecewise_body(pw.default, leaf, depth))
+            else:
+                out.append(f"{pad}return {leaf(pw.default)}")
+        else:
+            out.append(
+                f"{pad}raise ValueError('no alternative holds for %r' % (env,))"
+            )
+        return out
+
+    # ------------------------------------------------------------------
+    def expr(self, e) -> str:
+        if isinstance(e, Const):
+            return self.num(e.value) if isinstance(e.value, Fraction) else str(e.value)
+        if isinstance(e, StreamRead):
+            return f"values[{e.name!r}]"
+        if isinstance(e, IndexExpr):
+            return f"({self.affine(e.affine)})"
+        if isinstance(e, BinOp):
+            left, right = self.expr(e.left), self.expr(e.right)
+            if e.op in ("min", "max"):
+                return f"{e.op}({left}, {right})"
+            return f"({left} {e.op} {right})"
+        raise CompilationError(f"cannot render {e!r}")
+
+    def body_fn(self, body: Body) -> list[str]:
+        lines = ["def _body(values, env):"]
+        for branch in body.branches:
+            pad = "    "
+            if branch.condition is not None:
+                cond = branch.condition
+                lines.append(
+                    f"    if ({self.affine(cond.affine)}) {cond.relation} 0:"
+                )
+                pad = "        "
+            for a in branch.assigns:
+                lines.append(f"{pad}values[{a.stream!r}] = {self.expr(a.expr)}")
+        lines.append("    return values")
+        return lines
+
+
+def render_python(sp: SystolicProgram) -> str:
+    """Emit the complete standalone module as a string."""
+    r = _PyRenderer()
+    body: list[str] = []
+
+    body.append(f"COORDS = {tuple(sp.coords)!r}")
+    body.append(f"INDICES = {tuple(sp.source.indices)!r}")
+    body.append(f"INCREMENT = {tuple(int(c) for c in sp.increment)!r}")
+    body.append("")
+    body.append("def _ps_min(env):")
+    body.append("    return (" + ", ".join(r.affine(a) for a in sp.ps_min) + ",)")
+    body.append("")
+    body.append("def _ps_max(env):")
+    body.append("    return (" + ", ".join(r.affine(a) for a in sp.ps_max) + ",)")
+    body.append("")
+    body.extend(r.piecewise_fn("_first", sp.first, r.vector_leaf))
+    body.append("")
+    body.extend(r.piecewise_fn("_count", sp.count, r.scalar_leaf))
+    body.append("")
+    body.append("def _in_cs(env):")
+    if sp.first.has_default:
+        body.append("    return _first(env) is not None")
+    else:
+        body.append("    return True  # 'first' has no null default: CS = PS")
+    body.append("")
+    body.extend(r.body_fn(sp.source.body))
+    body.append("")
+
+    entries: list[str] = []
+    for i, plan in enumerate(sp.streams):
+        prefix = f"_s{i}"
+        body.extend(r.piecewise_fn(f"{prefix}_first_s", plan.first_s, r.vector_leaf))
+        body.append("")
+        body.extend(r.piecewise_fn(f"{prefix}_pass", plan.pass_amount, r.scalar_leaf))
+        body.append("")
+        body.extend(r.piecewise_fn(f"{prefix}_soak", plan.soak, r.scalar_leaf))
+        body.append("")
+        body.extend(r.piecewise_fn(f"{prefix}_drain", plan.drain, r.scalar_leaf))
+        body.append("")
+        entries.append(
+            "    {"
+            + f"'name': {plan.name!r}, "
+            + f"'stationary': {plan.stationary!r}, "
+            + f"'hop': {tuple(int(c) for c in plan.hop)!r}, "
+            + f"'latches': {plan.internal_buffers()!r}, "
+            + f"'inc_s': {tuple(int(c) for c in plan.increment_s)!r}, "
+            + f"'first_s': {prefix}_first_s, "
+            + f"'pass_amount': {prefix}_pass, "
+            + f"'soak': {prefix}_soak, "
+            + f"'drain': {prefix}_drain"
+            + "},"
+        )
+    body.append("STREAMS = [")
+    body.extend(entries)
+    body.append("]")
+
+    header = [
+        f'"""Standalone systolic program for {sp.source.name!r} '
+        f"[{sp.array.name}].",
+        "",
+        "Generated by repro.target.pygen; requires only the standard library.",
+        "",
+        "run(sizes, inputs)           -- fast cooperative engine",
+        "                                (generator processes, unbounded FIFOs)",
+        "run_threaded(sizes, inputs)  -- threads + bounded queues",
+        "                                (the paper's distributed target model)",
+        "",
+        "The network is a Kahn process network (one producer and one consumer",
+        "per channel), so both engines produce identical results.",
+        '"""',
+    ]
+    if r.needs_fraction:
+        header += ["", "from fractions import Fraction as _Fr"]
+    return "\n".join(header + [""] + body) + _RUNNER
+
+
+_RUNNER = '''
+
+# ---------------------------------------------------------------- runner --
+from collections import deque as _deque
+import queue as _queue
+import threading as _threading
+
+
+def _box_points(lo, hi):
+    if len(lo) == 1:
+        return [(c,) for c in range(lo[0], hi[0] + 1)]
+    out = []
+    for c in range(lo[0], hi[0] + 1):
+        for rest in _box_points(lo[1:], hi[1:]):
+            out.append((c,) + rest)
+    return out
+
+
+def _add(p, q):
+    return tuple(a + b for a, b in zip(p, q))
+
+
+def _env_of(point, sizes):
+    env = dict(sizes)
+    for name, value in zip(COORDS, point):
+        env[name] = value
+    return env
+
+
+def _cnt(value):
+    """Closed-form result -> non-negative int ('null' means zero)."""
+    if value is None:
+        return 0
+    count = int(value)
+    if count != value:
+        raise ValueError('non-integer amount %r' % (value,))
+    if count < 0:
+        raise ValueError('negative amount %r' % (value,))
+    return count
+
+
+# Processes are generators: ``value = yield chan`` receives from a channel,
+# ``chan.put(value)`` sends.  Both engines drive the same generators.
+
+def _passer(cin, cout, count):
+    for _ in range(count):
+        value = yield cin
+        cout.put(value)
+
+
+def _feeder(chan, elements, values):
+    for element in elements:
+        chan.put(values[element])
+    yield from ()
+
+
+def _drainer(chan, elements, sink):
+    for element in elements:
+        sink[element] = yield chan
+
+
+def _compute(point, sizes, env, in_chan, out_chan):
+    stationary = [s for s in STREAMS if s['stationary']]
+    moving = [s for s in STREAMS if not s['stationary']]
+    local = {}
+    # -- pre phase: stationary loads, then moving soaks --------------------
+    for s in stationary:
+        name = s['name']
+        cin, cout = in_chan[name][point], out_chan[name][point]
+        local[name] = yield cin
+        for _ in range(_cnt(s['drain'](env))):  # loading passes = drain
+            value = yield cin
+            cout.put(value)
+    for s in moving:
+        name = s['name']
+        cin, cout = in_chan[name][point], out_chan[name][point]
+        for _ in range(_cnt(s['soak'](env))):
+            value = yield cin
+            cout.put(value)
+    # -- the repeater: the basic statements of this process ----------------
+    moving_io = [
+        (s['name'], in_chan[s['name']][point], out_chan[s['name']][point])
+        for s in moving
+    ]
+    x = _first(env)
+    for _ in range(_cnt(_count(env))):
+        stmt_env = dict(sizes)
+        for index, value in zip(INDICES, x):
+            stmt_env[index] = value
+        values = dict(local)
+        for name, cin, _cout in moving_io:
+            values[name] = yield cin
+        values = _body(values, stmt_env)
+        for s in stationary:
+            local[s['name']] = values[s['name']]
+        for name, _cin, cout in moving_io:
+            cout.put(values[name])
+        x = _add(x, INCREMENT)
+    # -- post phase: moving drains, then stationary recoveries -------------
+    for s in moving:
+        name = s['name']
+        cin, cout = in_chan[name][point], out_chan[name][point]
+        for _ in range(_cnt(s['drain'](env))):
+            value = yield cin
+            cout.put(value)
+    for s in stationary:
+        name = s['name']
+        cin, cout = in_chan[name][point], out_chan[name][point]
+        for _ in range(_cnt(s['soak'](env))):  # recovery passes = soak
+            value = yield cin
+            cout.put(value)
+        cout.put(local[name])
+
+
+def _build(sizes, inputs, new_chan):
+    """Instantiate the process network: generators + channels."""
+    lo = tuple(int(c) for c in _ps_min(sizes))
+    hi = tuple(int(c) for c in _ps_max(sizes))
+    order = _box_points(lo, hi)
+    space = set(order)
+    envs = {point: _env_of(point, sizes) for point in order}
+    cs = {point: _in_cs(envs[point]) for point in order}
+    final = {name: dict(values) for name, values in inputs.items()}
+    procs = []
+    in_chan = {s['name']: {} for s in STREAMS}
+    out_chan = {s['name']: {} for s in STREAMS}
+    chain_total = {}
+    for spec in STREAMS:
+        name, hop = spec['name'], spec['hop']
+        for start in order:
+            if tuple(a - b for a, b in zip(start, hop)) in space:
+                continue  # not a pipe head
+            chain = []
+            z = start
+            while z in space:
+                chain.append(z)
+                z = _add(z, hop)
+            env0 = envs[start]
+            if any(cs[p] for p in chain):
+                total = _cnt(spec['pass_amount'](env0))
+            else:
+                total = 0  # no basic statement on the pipe
+            for p in chain:
+                chain_total[(name, p)] = total
+            head = feed = new_chan()
+            for idx, y in enumerate(chain):
+                if idx > 0:
+                    link = new_chan()
+                    out_chan[name][chain[idx - 1]] = link
+                    feed = link
+                for _ in range(spec['latches']):
+                    buffered = new_chan()
+                    procs.append(_passer(feed, buffered, total))
+                    feed = buffered
+                in_chan[name][y] = feed
+            tail = new_chan()
+            out_chan[name][chain[-1]] = tail
+            elements = []
+            if total:
+                cur = spec['first_s'](env0)
+                for _ in range(total):
+                    elements.append(cur)
+                    cur = _add(cur, spec['inc_s'])
+            procs.append(_feeder(head, elements, inputs[name]))
+            procs.append(_drainer(tail, elements, final[name]))
+    for point in order:
+        if cs[point]:
+            procs.append(_compute(point, sizes, envs[point], in_chan, out_chan))
+        else:
+            for s in STREAMS:  # PS \\ CS: one pass loop per stream
+                procs.append(_passer(
+                    in_chan[s['name']][point],
+                    out_chan[s['name']][point],
+                    chain_total[(s['name'], point)],
+                ))
+    return procs, final
+
+
+# --------------------------------------------------- cooperative engine --
+class _Chan:
+    """Unbounded FIFO with a single parked consumer."""
+
+    __slots__ = ('buf', 'waiter', 'ready')
+
+    def __init__(self, ready):
+        self.buf = _deque()
+        self.waiter = None
+        self.ready = ready
+
+    def put(self, value):
+        self.buf.append(value)
+        waiter = self.waiter
+        if waiter is not None:
+            self.waiter = None
+            self.ready.append((waiter, self))
+
+
+def run(sizes, inputs):
+    """Execute with the fast cooperative engine; returns final contents."""
+    ready = _deque()
+    procs, final = _build(sizes, inputs, lambda: _Chan(ready))
+    blocked = 0
+
+    def step(gen, value):
+        nonlocal blocked
+        send = gen.send
+        while True:
+            try:
+                chan = send(value)
+            except StopIteration:
+                return
+            buf = chan.buf
+            if buf:
+                value = buf.popleft()
+            else:
+                chan.waiter = gen
+                blocked += 1
+                return
+
+    for gen in procs:
+        step(gen, None)
+    while ready:
+        gen, chan = ready.popleft()
+        blocked -= 1
+        step(gen, chan.buf.popleft())
+    if blocked:
+        raise RuntimeError(
+            'generated program deadlocked: %d process(es) blocked' % blocked
+        )
+    return final
+
+
+# ------------------------------------------------------ threaded engine --
+class _QChan:
+    """Bounded queue channel (transputer-style, capacity 1)."""
+
+    __slots__ = ('q',)
+
+    def __init__(self):
+        self.q = _queue.Queue(maxsize=1)
+
+    def put(self, value):
+        self.q.put(value)
+
+    def get(self):
+        return self.q.get()
+
+
+def _drive(gen):
+    value = None
+    try:
+        while True:
+            chan = gen.send(value)
+            value = chan.get()
+    except StopIteration:
+        pass
+
+
+def run_threaded(sizes, inputs):
+    """Execute with one thread per process and bounded queues."""
+    procs, final = _build(sizes, inputs, _QChan)
+    threads = [
+        _threading.Thread(target=_drive, args=(gen,), daemon=True)
+        for gen in procs
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=120)
+        if t.is_alive():
+            raise RuntimeError('generated program deadlocked (threaded mode)')
+    return final
+'''
+
+
+# ---------------------------------------------------------------------------
+#: compiled-namespace cache, keyed by the exact generated source
+_MODULE_CACHE: dict[str, dict] = {}
+
+
+def _module_for(source: str) -> dict:
+    namespace = _MODULE_CACHE.get(source)
+    if namespace is None:
+        code = compile(source, "<repro.target.pygen>", "exec")
+        namespace = {}
+        exec(code, namespace)
+        _MODULE_CACHE[source] = namespace
+    return namespace
+
+
+def execute_python(
+    sp: SystolicProgram,
+    env: Mapping[str, int],
+    inputs=None,
+    *,
+    threaded: bool = False,
+) -> dict:
+    """Render, compile and run the generated module at a problem size.
+
+    Returns ``{variable: {tuple(element): value}}`` -- the same contents the
+    sequential oracle and the simulator produce, with tuple keys.
+    ``threaded=True`` selects the threads-plus-bounded-queues engine instead
+    of the fast cooperative one; results are identical.
+    """
+    source = render_python(sp)
+    module = _module_for(source)
+    state = initial_state(sp.source, env, inputs)
+    dense = {
+        name: {tuple(int(c) for c in p): v for p, v in values.items()}
+        for name, values in state.items()
+    }
+    sizes = {k: int(v) for k, v in env.items()}
+    runner = module["run_threaded"] if threaded else module["run"]
+    return runner(sizes, dense)

@@ -315,3 +315,31 @@ class TestVirtualTime:
         assert s1.makespan == s2.makespan
         assert s1.per_channel_messages == s2.per_channel_messages
         assert s1.scheduler_rounds == s2.scheduler_rounds
+
+
+class TestSpawnScaling:
+    def test_many_processes_spawn_fast(self):
+        """Name bookkeeping is O(1) per spawn: 10k processes must register
+        in well under a second (the old linear scan took quadratic time)."""
+        import time
+
+        def noop():
+            yield from ()
+
+        sched = make_sched()
+        t0 = time.perf_counter()
+        for i in range(10_000):
+            sched.spawn(f"p{i}", noop())
+        elapsed = time.perf_counter() - t0
+        assert elapsed < 2.0, f"10k spawns took {elapsed:.2f}s"
+        assert len(sched.process_names) == 10_000
+
+    def test_duplicates_still_rejected(self):
+        def noop():
+            yield from ()
+
+        sched = make_sched()
+        for i in range(100):
+            sched.spawn(f"p{i}", noop())
+        with pytest.raises(RuntimeSimulationError):
+            sched.spawn("p42", noop())

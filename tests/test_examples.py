@@ -31,6 +31,18 @@ def test_example_runs(script, capsys):
     assert out.strip(), f"{script} produced no output"
 
 
+def test_generated_example_is_current():
+    """The checked-in generated_matmul_systolic.py is byte-identical to a
+    fresh render_python of the same design -- regenerate it by running
+    ``python examples/standalone_python.py`` whenever the backend changes."""
+    from repro import compile_systolic, matrix_product_program, render_python
+    from repro.systolic import matmul_design_e2
+
+    sp = compile_systolic(matrix_product_program(), matmul_design_e2())
+    checked_in = (EXAMPLES_DIR / "generated_matmul_systolic.py").read_text()
+    assert render_python(sp) == checked_in
+
+
 def test_example_count_matches_readme_table():
     """The README documents the examples; keep the set in sync."""
     readme = (EXAMPLES_DIR.parent / "README.md").read_text()
