@@ -37,6 +37,7 @@ from repro.lang.interpreter import run_sequential
 from repro.lang.parser import parse_affine, parse_program
 from repro.lang.program import Loop, SourceProgram
 from repro.lang.validate import validate_program
+from repro.parallel import SweepResult, SweepTimings, sweep_designs
 from repro.runtime.network import build_network, execute
 from repro.systolic.designs import (
     all_paper_designs,
@@ -47,6 +48,7 @@ from repro.systolic.designs import (
     polyprod_design_d1,
     polyprod_design_d2,
 )
+from repro.systolic.explore import DesignCost, explore_designs
 from repro.systolic.schedule import synthesize_array, synthesize_places, synthesize_step
 from repro.systolic.spec import SystolicArray
 from repro.target.build import build_target_program
@@ -71,6 +73,11 @@ __all__ = [
     "validate_program",
     "build_network",
     "execute",
+    "SweepResult",
+    "SweepTimings",
+    "sweep_designs",
+    "DesignCost",
+    "explore_designs",
     "all_paper_designs",
     "matmul_design_e1",
     "matmul_design_e2",

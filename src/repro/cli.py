@@ -70,6 +70,28 @@ def parse_sizes(pairs: list[str]) -> dict[str, int]:
     return env
 
 
+def parse_size_sweep(pairs: list[str]) -> list[dict[str, int]]:
+    """``name=value`` pairs -> one env per size combination.
+
+    Repeating a name sweeps it: ``-s n=4 -s n=8`` yields ``[{n: 4},
+    {n: 8}]``; with several swept names the cartesian product is taken in
+    first-appearance order.
+    """
+    values: dict[str, list[int]] = {}
+    for pair in pairs:
+        if "=" not in pair:
+            raise ReproError(f"size must be name=value, got {pair!r}")
+        name, _, value = pair.partition("=")
+        bucket = values.setdefault(name.strip(), [])
+        v = int(value)
+        if v not in bucket:
+            bucket.append(v)
+    envs: list[dict[str, int]] = [{}]
+    for name, options in values.items():
+        envs = [dict(env, **{name: v}) for env in envs for v in options]
+    return envs
+
+
 def cmd_compile(args: argparse.Namespace) -> int:
     program = parse_program(Path(args.source).read_text())
     array = load_design(args.design)
@@ -105,6 +127,11 @@ def cmd_synthesize(args: argparse.Namespace) -> int:
     program = parse_program(Path(args.source).read_text())
     steps = synthesize_step(program, bound=args.bound)
     env = {s: 4 for s in _size_symbols(program)}
+    if not steps:
+        raise ReproError(
+            f"no minimal-makespan step candidate at bound {args.bound}; "
+            "raise --bound"
+        )
     print(f"{len(steps)} minimal-makespan step candidate(s) at bound {args.bound}:")
     for step in steps:
         print(f"  step {step.rows[0]}  makespan {makespan(program, step, env)}")
@@ -120,15 +147,33 @@ def cmd_synthesize(args: argparse.Namespace) -> int:
 
 def cmd_explore(args: argparse.Namespace) -> int:
     from repro.analysis.report import format_table
-    from repro.systolic.explore import explore_designs
+    from repro.parallel import sweep_designs
 
     program = parse_program(Path(args.source).read_text())
     steps = synthesize_step(program, bound=args.bound)
+    if not steps:
+        raise ReproError(
+            f"no minimal-makespan step candidate at bound {args.bound}; "
+            "raise --bound"
+        )
     step = steps[0]
-    env = parse_sizes(args.size) or {s: 4 for s in _size_symbols(program)}
-    costs = explore_designs(program, step, env, bound=1, limit=args.limit)
-    print(f"step {step.rows[0]}, costs at {env}:")
-    print(format_table([c.row() for c in costs]))
+    if args.size:
+        envs = parse_size_sweep(args.size)
+    else:
+        envs = [{s: 4 for s in _size_symbols(program)}]
+    result = sweep_designs(
+        program, step, envs, bound=1, limit=args.limit, jobs=args.jobs
+    )
+    t = result.timings
+    for env, costs in result.by_size:
+        print(f"step {step.rows[0]}, costs at {env}:")
+        print(format_table([c.row() for c in costs]))
+    print(
+        f"timings: synthesis {t.synthesis_s:.3f}s + compile/cost "
+        f"{t.cost_s:.3f}s = total {t.total_s:.3f}s "
+        f"({t.candidates} candidates, {t.compiled} compilable, "
+        f"{len(result.by_size)} size(s), jobs {t.jobs})"
+    )
     return 0
 
 
@@ -186,9 +231,19 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("source")
     p.add_argument("--bound", type=int, default=2, help="step coefficient bound")
     p.add_argument(
-        "-s", "--size", action="append", default=[], help="problem size name=value"
+        "-s",
+        "--size",
+        action="append",
+        default=[],
+        help="problem size name=value; repeat a name to sweep it",
     )
     p.add_argument("--limit", type=int, default=12, help="rows to print")
+    p.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes (0 = one per CPU, default 1 = serial)",
+    )
     p.set_defaults(func=cmd_explore)
 
     p = sub.add_parser("designs", help="list the built-in catalogue")

@@ -46,6 +46,12 @@ class Matrix:
     def __setattr__(self, name: str, value: object) -> None:
         raise AttributeError("Matrix is immutable")
 
+    def __reduce__(self):
+        # Immutability blocks the default slot-restoring pickle path; rebuild
+        # through the constructor instead (needed to ship designs to
+        # multiprocessing workers in repro.parallel).
+        return (Matrix, (self.rows,))
+
     # ------------------------------------------------------------------
     # shape / access
     # ------------------------------------------------------------------

@@ -1,0 +1,188 @@
+"""Parallel, batched design-space exploration.
+
+"Once [step] has been derived, many different place functions are
+possible" (Section 3.2) -- and costing all of them is embarrassingly
+parallel: each candidate is a pure function of ``(program, step, place,
+loading)``, so workers need no shared state.  This module fans
+:func:`repro.systolic.explore.sweep_candidate` over the bounded place
+design space with a :mod:`multiprocessing` pool and batches *multi-size*
+sweeps so each design is compiled exactly once and its symbolic closed
+forms are evaluated at every requested size (compilation dominates the
+per-candidate cost, so the batching alone is a measured win even on one
+core -- see ``tools/bench_explore.py``).
+
+The heavyweight context ``(program, step, envs)`` travels to each worker
+once via the pool initializer; individual tasks are just place row tuples
+(:func:`repro.systolic.schedule.candidate_tasks`).  Results come back in
+candidate order and are ranked with the same deterministic key as the
+serial path, so ``jobs=N`` produces byte-identical tables for every N.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from repro.geometry.linalg import Matrix
+from repro.lang.program import SourceProgram
+from repro.symbolic.affine import Numeric
+from repro.systolic.explore import DesignCost, rank_costs, sweep_candidate
+from repro.systolic.schedule import candidate_tasks
+
+__all__ = [
+    "SweepTimings",
+    "SweepResult",
+    "resolve_jobs",
+    "sweep_designs",
+    "explore_designs_parallel",
+]
+
+
+@dataclass(frozen=True)
+class SweepTimings:
+    """Wall-clock stage breakdown of one sweep."""
+
+    synthesis_s: float  # place-candidate enumeration
+    cost_s: float  # compile + cost over all candidates and sizes
+    total_s: float
+    jobs: int
+    candidates: int  # enumerated place candidates
+    compiled: int  # candidates some loading axis compiled
+
+    def row(self) -> dict:
+        return {
+            "synthesis_s": round(self.synthesis_s, 6),
+            "cost_s": round(self.cost_s, 6),
+            "total_s": round(self.total_s, 6),
+            "jobs": self.jobs,
+            "candidates": self.candidates,
+            "compiled": self.compiled,
+        }
+
+
+@dataclass(frozen=True)
+class SweepResult:
+    """Ranked :class:`DesignCost` tables, one per requested size."""
+
+    by_size: tuple[tuple[dict, tuple[DesignCost, ...]], ...]
+    timings: SweepTimings
+
+    def costs_at(self, env: Mapping[str, Numeric]) -> list[DesignCost]:
+        target = dict(env)
+        for size_env, costs in self.by_size:
+            if size_env == target:
+                return list(costs)
+        raise KeyError(f"size {target!r} was not part of this sweep")
+
+
+# -- worker side -----------------------------------------------------------
+# The pool initializer stores the shared context in module globals of the
+# *worker* process; tasks then only carry the place rows.
+_WORKER: dict = {}
+
+
+def _init_worker(program: SourceProgram, step_rows, envs) -> None:
+    _WORKER["program"] = program
+    _WORKER["step"] = Matrix(step_rows)
+    _WORKER["envs"] = envs
+
+
+def _sweep_task(place_rows):
+    return sweep_candidate(
+        _WORKER["program"], _WORKER["step"], Matrix(place_rows), _WORKER["envs"]
+    )
+
+
+# -- driver side -----------------------------------------------------------
+def resolve_jobs(jobs: int | None) -> int:
+    """``None``/1 -> serial; 0 -> one worker per CPU; N -> N workers."""
+    if jobs is None:
+        return 1
+    if jobs == 0:
+        return os.cpu_count() or 1
+    if jobs < 0:
+        raise ValueError(f"jobs must be >= 0, got {jobs}")
+    return jobs
+
+
+def sweep_designs(
+    program: SourceProgram,
+    step: Matrix,
+    envs: Sequence[Mapping[str, Numeric]],
+    *,
+    bound: int = 1,
+    limit: int | None = None,
+    jobs: int | None = None,
+) -> SweepResult:
+    """Cost the whole bounded place design space at every requested size.
+
+    Each compilable candidate is compiled once and costed at each entry of
+    ``envs``; ``jobs`` > 1 distributes candidates over a process pool.  The
+    per-size tables are ranked exactly like serial
+    :func:`repro.systolic.explore.explore_designs` output.
+    """
+    if not envs:
+        raise ValueError("sweep_designs needs at least one size environment")
+    t_start = time.perf_counter()
+    size_envs = [dict(e) for e in envs]
+    tasks = candidate_tasks(program, step, bound=bound)
+    t_synth = time.perf_counter()
+
+    n_jobs = resolve_jobs(jobs)
+    if n_jobs > 1 and len(tasks) > 1:
+        ctx = multiprocessing.get_context()
+        chunksize = max(1, len(tasks) // (n_jobs * 4))
+        with ctx.Pool(
+            processes=n_jobs,
+            initializer=_init_worker,
+            initargs=(program, step.rows, size_envs),
+        ) as pool:
+            results = pool.map(_sweep_task, tasks, chunksize=chunksize)
+    else:
+        results = [
+            sweep_candidate(program, step, Matrix(rows), size_envs)
+            for rows in tasks
+        ]
+    t_cost = time.perf_counter()
+
+    compiled = 0
+    per_size: list[list[DesignCost]] = [[] for _ in size_envs]
+    for result in results:
+        if result is None:
+            continue
+        compiled += 1
+        for i, cost in enumerate(result):
+            if cost is not None:
+                per_size[i].append(cost)
+    by_size = tuple(
+        (env, tuple(rank_costs(costs, limit)))
+        for env, costs in zip(size_envs, per_size)
+    )
+    timings = SweepTimings(
+        synthesis_s=t_synth - t_start,
+        cost_s=t_cost - t_synth,
+        total_s=time.perf_counter() - t_start,
+        jobs=n_jobs,
+        candidates=len(tasks),
+        compiled=compiled,
+    )
+    return SweepResult(by_size=by_size, timings=timings)
+
+
+def explore_designs_parallel(
+    program: SourceProgram,
+    step: Matrix,
+    env: Mapping[str, Numeric],
+    *,
+    bound: int = 1,
+    limit: int | None = None,
+    jobs: int | None = 0,
+) -> list[DesignCost]:
+    """Parallel :func:`~repro.systolic.explore.explore_designs` (one size)."""
+    result = sweep_designs(
+        program, step, [env], bound=bound, limit=limit, jobs=jobs
+    )
+    return list(result.by_size[0][1])

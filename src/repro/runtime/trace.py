@@ -13,6 +13,7 @@ per-process activity in virtual time.  From the trace one can compute
 
 from __future__ import annotations
 
+import weakref
 from collections import defaultdict
 from dataclasses import dataclass, field
 from typing import Iterable, Mapping
@@ -91,22 +92,46 @@ class Trace:
         return "\n".join(lines)
 
 
-def trace_run(network, max_rounds: int | None = None) -> tuple[SchedulerStats, Trace]:
-    """Run a :class:`ProcessNetwork` with tracing attached.
+#: wrapper generator -> the original (uninstrumented) generator it drives.
+#: Weak keys: entries die with their wrappers, so re-instrumentation never
+#: leaks and an attach is detectable without touching the slotted _ProcState.
+_WRAPPED: "weakref.WeakKeyDictionary" = weakref.WeakKeyDictionary()
 
-    Tracing hooks into the scheduler's resume path by wrapping each process
-    generator; it costs one extra generator frame per process.
+
+def attach_tracer(network) -> Trace:
+    """Instrument every process of ``network``; returns the live trace.
+
+    Attaching is *idempotent*: each process records every completed request
+    exactly once, no matter how many times a tracer is attached.  A repeat
+    attach unwraps the previous instrumentation and re-wraps the original
+    generator, so only the newest :class:`Trace` receives events (the bug
+    this replaces stacked wrapper on wrapper and double-counted every
+    event).
     """
     trace = Trace()
     sched = network.scheduler
     for proc in sched._procs:  # instrumentation needs scheduler internals
-        proc.gen = _instrument(proc, trace)
+        inner = _WRAPPED.get(proc.gen, proc.gen)
+        wrapper = _instrument(proc, inner, trace)
+        _WRAPPED[wrapper] = inner
+        proc.gen = wrapper
+    return trace
+
+
+def trace_run(network, max_rounds: int | None = None) -> tuple[SchedulerStats, Trace]:
+    """Run a :class:`ProcessNetwork` with tracing attached.
+
+    Tracing hooks into the scheduler's resume path by wrapping each process
+    generator; it costs one extra generator frame per process.  Calling
+    this twice on one network re-instruments cleanly (see
+    :func:`attach_tracer`) instead of double-counting events.
+    """
+    trace = attach_tracer(network)
     stats = network.run(max_rounds=max_rounds)
     return stats, trace
 
 
-def _instrument(proc, trace: Trace):
-    inner = proc.gen
+def _instrument(proc, inner, trace: Trace):
     name = proc.name
 
     def wrapper():

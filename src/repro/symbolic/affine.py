@@ -54,6 +54,11 @@ class Affine:
     def __setattr__(self, name: str, value: object) -> None:
         raise AttributeError("Affine is immutable")
 
+    def __reduce__(self):
+        # Rebuild through the constructor: the immutable __setattr__ blocks
+        # the default slot-restoring pickle path.
+        return (Affine, (self.coeffs, self.const))
+
     # ------------------------------------------------------------------
     # constructors
     # ------------------------------------------------------------------

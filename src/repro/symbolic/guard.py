@@ -31,6 +31,9 @@ class Constraint:
     def __setattr__(self, name: str, value: object) -> None:
         raise AttributeError("Constraint is immutable")
 
+    def __reduce__(self):
+        return (Constraint, (self.expr,))
+
     # -- constructors ---------------------------------------------------
     @staticmethod
     def ge(a: AffineLike, b: AffineLike) -> "Constraint":
@@ -102,6 +105,9 @@ class Guard:
 
     def __setattr__(self, name: str, value: object) -> None:
         raise AttributeError("Guard is immutable")
+
+    def __reduce__(self):
+        return (Guard, (self.constraints,))
 
     # -- combinators ------------------------------------------------------
     def and_(self, other: "Guard | Constraint") -> "Guard":

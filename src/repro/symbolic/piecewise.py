@@ -52,6 +52,11 @@ def _evaluate_value(value: Value, env: Mapping[str, Numeric]) -> Any:
     raise SymbolicError(f"cannot evaluate {value!r}")
 
 
+def _rebuild_piecewise(cases, default, has_default):
+    """Pickle helper: ``has_default`` is keyword-only in the constructor."""
+    return Piecewise(cases, default, has_default=has_default)
+
+
 class Piecewise:
     """An immutable guarded case analysis with an optional default."""
 
@@ -74,6 +79,9 @@ class Piecewise:
 
     def __setattr__(self, name: str, value: object) -> None:
         raise AttributeError("Piecewise is immutable")
+
+    def __reduce__(self):
+        return (_rebuild_piecewise, (self.cases, self.default, self.has_default))
 
     # ------------------------------------------------------------------
     # constructors

@@ -30,7 +30,14 @@ from repro.systolic.designs import (
     tensor_design_simple,
     tensor_design_skewed,
 )
-from repro.systolic.explore import DesignCost, cost_of, explore_designs
+from repro.systolic.explore import (
+    DesignCost,
+    cost_candidate,
+    cost_of,
+    explore_designs,
+    loading_candidates,
+    rank_costs,
+)
 from repro.systolic.schedule import synthesize_step, synthesize_places, synthesize_array, makespan
 
 __all__ = [
@@ -62,6 +69,9 @@ __all__ = [
     "synthesize_array",
     "makespan",
     "DesignCost",
+    "cost_candidate",
     "cost_of",
     "explore_designs",
+    "loading_candidates",
+    "rank_costs",
 ]

@@ -18,7 +18,7 @@ is exact: the candidate is compiled and its concrete spaces enumerated.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Mapping
+from typing import Iterator, Mapping, Sequence
 
 from repro.core.io_layout import concrete_io_points
 from repro.geometry.linalg import Matrix
@@ -26,7 +26,6 @@ from repro.geometry.point import Point
 from repro.lang.program import SourceProgram
 from repro.symbolic.affine import Numeric
 from repro.systolic.flow import is_stationary
-from repro.systolic.schedule import synthesize_places
 from repro.systolic.spec import SystolicArray
 from repro.util.errors import ReproError
 
@@ -59,20 +58,56 @@ class DesignCost:
         }
 
 
-def _default_loading(program: SourceProgram, step: Matrix, place: Matrix):
-    """Unit loading vectors for whichever streams come out stationary."""
+def loading_candidates(
+    program: SourceProgram, step: Matrix, place: Matrix
+) -> Iterator[dict[str, Point]]:
+    """Yield unit loading-vector assignments for the stationary streams.
+
+    A stationary stream needs a loading & recovery vector, but which unit
+    axis is *compilable* depends on the stream's index map (the vector must
+    shift element identities integrally; see
+    :func:`repro.core.io_comm.derive_stream_increment`).  One assignment per
+    axis is yielded, axis 0 first, so callers can fall back to the next axis
+    when compilation rejects the current one.  Designs with no stationary
+    stream yield a single empty assignment.
+    """
     from repro.systolic.flow import stream_flow
 
     base = SystolicArray(step=step, place=place)
-    loading: dict[str, Point] = {}
+    stationary = [
+        s.name for s in program.streams if is_stationary(stream_flow(base, s))
+    ]
     dim = program.r - 1
-    for s in program.streams:
-        if is_stationary(stream_flow(base, s)):
-            for axis in range(dim):
-                candidate = Point.unit(dim, axis)
-                loading[s.name] = candidate
-                break
-    return loading
+    if not stationary:
+        yield {}
+        return
+    for axis in range(dim):
+        unit = Point.unit(dim, axis)
+        yield {name: unit for name in stationary}
+
+
+def cost_candidate(
+    program: SourceProgram,
+    step: Matrix,
+    place: Matrix,
+    env: Mapping[str, Numeric],
+) -> DesignCost:
+    """Compile and cost one place candidate, trying each loading axis.
+
+    Historical bug: only axis 0 was ever tried, so a design whose stationary
+    streams are only loadable along another axis was silently dropped from
+    the explored space.  Raises the last :class:`ReproError` when no axis
+    compiles.
+    """
+    error: ReproError | None = None
+    for loading in loading_candidates(program, step, place):
+        array = SystolicArray(step=step, place=place, loading_vectors=loading)
+        try:
+            return cost_of(program, array, env)
+        except ReproError as exc:
+            error = exc
+    assert error is not None  # loading_candidates always yields
+    raise error
 
 
 def cost_of(
@@ -83,7 +118,16 @@ def cost_of(
     """Compile a candidate and measure it at a concrete size."""
     from repro.core.scheme import compile_systolic
 
-    sp = compile_systolic(program, array)
+    return cost_of_compiled(compile_systolic(program, array), env)
+
+
+def cost_of_compiled(sp, env: Mapping[str, Numeric]) -> DesignCost:
+    """Measure an already compiled candidate at a concrete size.
+
+    Splitting this off :func:`cost_of` lets a multi-size sweep compile each
+    design *once* and evaluate the symbolic closed forms at every requested
+    size -- compilation dominates, so this is the batching win.
+    """
     space = sp.process_space(env)
     compute = sum(1 for y in space if sp.in_computation_space(y, env))
     io_total = 0
@@ -95,13 +139,69 @@ def cost_of(
         if plan.stationary:
             stationary += 1
     return DesignCost(
-        place=array.place,
+        place=sp.array.place,
         processes=space.size,
         null_processes=space.size - compute,
         io_processes=io_total,
         latch_buffers=latches,
         stationary_streams=stationary,
     )
+
+
+def compile_candidate(program: SourceProgram, step: Matrix, place: Matrix):
+    """Compile one place candidate, trying each loading axis in turn.
+
+    Returns the :class:`~repro.core.program.SystolicProgram` of the first
+    axis that compiles; raises the last :class:`ReproError` when none does.
+    """
+    from repro.core.scheme import compile_systolic
+
+    error: ReproError | None = None
+    for loading in loading_candidates(program, step, place):
+        array = SystolicArray(step=step, place=place, loading_vectors=loading)
+        try:
+            return compile_systolic(program, array)
+        except ReproError as exc:
+            error = exc
+    assert error is not None  # loading_candidates always yields
+    raise error
+
+
+def sweep_candidate(
+    program: SourceProgram,
+    step: Matrix,
+    place: Matrix,
+    envs: "Sequence[Mapping[str, Numeric]]",
+) -> list[DesignCost | None] | None:
+    """Compile one candidate once, then cost it at every requested size.
+
+    Returns ``None`` when no loading axis compiles (the design is outside
+    the scheme); otherwise one :class:`DesignCost` -- or ``None`` for a
+    size the concrete evaluation rejects -- per entry of ``envs``.
+    """
+    try:
+        sp = compile_candidate(program, step, place)
+    except ReproError:
+        return None
+    out: list[DesignCost | None] = []
+    for env in envs:
+        try:
+            out.append(cost_of_compiled(sp, env))
+        except ReproError:
+            out.append(None)
+    return out
+
+
+def rank_costs(
+    costs: list[DesignCost], limit: int | None = None
+) -> list[DesignCost]:
+    """Deterministic ranking: cheapest total first, stable tiebreak."""
+    ranked = sorted(
+        costs, key=lambda c: (c.total_cells, c.null_processes, str(c.place.rows))
+    )
+    if limit is not None:
+        ranked = ranked[:limit]
+    return ranked
 
 
 def explore_designs(
@@ -111,22 +211,20 @@ def explore_designs(
     *,
     bound: int = 1,
     limit: int | None = None,
+    jobs: int | None = None,
 ) -> list[DesignCost]:
     """Cost every compilable place candidate, cheapest total first.
 
     Candidates that fail compilation (restriction violations such as
     non-unimodular faces or oversize ``increment_s``) are skipped -- the
     design space the scheme can actually handle is exactly what remains.
+
+    ``jobs`` > 1 fans the candidates over a process pool via
+    :mod:`repro.parallel`; the ranked result is identical to the serial one.
     """
-    costs: list[DesignCost] = []
-    for place in synthesize_places(program, step, bound=bound):
-        loading = _default_loading(program, step, place)
-        array = SystolicArray(step=step, place=place, loading_vectors=loading)
-        try:
-            costs.append(cost_of(program, array, env))
-        except ReproError:
-            continue
-    costs.sort(key=lambda c: (c.total_cells, c.null_processes, str(c.place.rows)))
-    if limit is not None:
-        costs = costs[:limit]
-    return costs
+    from repro.parallel import sweep_designs
+
+    result = sweep_designs(
+        program, step, [env], bound=bound, limit=limit, jobs=jobs
+    )
+    return list(result.by_size[0][1])

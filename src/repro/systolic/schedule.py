@@ -151,6 +151,16 @@ def synthesize_places(
     return results
 
 
+def candidate_tasks(
+    program: SourceProgram, step: Matrix, *, bound: int = 1
+) -> list[tuple[tuple[int, ...], ...]]:
+    """The place design space as plain row tuples -- the picklable task
+    unit :mod:`repro.parallel` ships to worker processes (the heavyweight
+    ``(program, step, env)`` context travels once via the pool initializer;
+    each task is just this compact tuple-of-rows)."""
+    return [place.rows for place in synthesize_places(program, step, bound=bound)]
+
+
 def synthesize_array(
     program: SourceProgram,
     *,
@@ -161,22 +171,30 @@ def synthesize_array(
     """One fully checked array: best step, first compatible place.
 
     Stationary streams get a default loading & recovery vector: the unit
-    vector along ``default_loading_axis``.  The result passes
+    vector along ``default_loading_axis``, falling back to the remaining
+    axes when the check rejects it.  The result passes
     :func:`repro.systolic.check.check_systolic_array`.
     """
     step = synthesize_step(program, bound=step_bound)[0]
+    dim = program.r - 1
+    axes = [default_loading_axis] + [
+        a for a in range(dim) if a != default_loading_axis
+    ]
     for place in synthesize_places(program, step, bound=place_bound):
-        loading: dict[str, Point] = {}
         candidate = SystolicArray(step=step, place=place)
-        for s in program.streams:
-            if is_stationary(stream_flow(candidate, s)):
-                loading[s.name] = Point.unit(program.r - 1, default_loading_axis)
-        array = SystolicArray(
-            step=step, place=place, loading_vectors=loading, name="synthesized"
-        )
-        try:
-            check_systolic_array(array, program)
-        except Exception:
-            continue
-        return array
+        stationary = [
+            s.name
+            for s in program.streams
+            if is_stationary(stream_flow(candidate, s))
+        ]
+        for axis in axes if stationary else axes[:1]:
+            loading = {name: Point.unit(dim, axis) for name in stationary}
+            array = SystolicArray(
+                step=step, place=place, loading_vectors=loading, name="synthesized"
+            )
+            try:
+                check_systolic_array(array, program)
+            except Exception:
+                continue
+            return array
     raise SystolicSpecError("no compatible place found within the bound")

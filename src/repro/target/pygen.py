@@ -29,7 +29,11 @@ runs the module on dense inputs, returning tuple-keyed final contents.
 
 from __future__ import annotations
 
+import hashlib
+import os
+from collections import OrderedDict
 from fractions import Fraction
+from pathlib import Path
 from typing import Mapping
 
 from repro.core.program import SystolicProgram
@@ -505,18 +509,164 @@ def run_threaded(sizes, inputs):
 
 
 # ---------------------------------------------------------------------------
-#: compiled-namespace cache, keyed by the exact generated source
-_MODULE_CACHE: dict[str, dict] = {}
+# Two-level compile cache.
+#
+# Level 1 (in process): a bounded LRU of compiled module namespaces keyed by
+# the sha-256 of the generated source.  A design-space sweep compiles
+# hundreds of distinct modules; the old unbounded dict retained every one of
+# them (plus its exec'd namespace) for the life of the process.
+#
+# Level 2 (on disk, optional): rendered sources keyed by a *design
+# fingerprint*, so repeated CLI/bench invocations skip rendering entirely.
+# Enable it by passing ``cache_dir`` to :func:`render_python_cached` /
+# :func:`execute_python` or by setting ``REPRO_RENDER_CACHE`` to a directory.
+
+#: bumped whenever the generated-source format changes; part of every
+#: design fingerprint so a stale disk cache can never resurface old code
+PYGEN_FORMAT_VERSION = "1"
+
+DEFAULT_MODULE_CACHE_SIZE = 64
 
 
-def _module_for(source: str) -> dict:
-    namespace = _MODULE_CACHE.get(source)
-    if namespace is None:
+class ModuleCache:
+    """Bounded LRU of compiled module namespaces, keyed by source hash.
+
+    Exposes ``hits`` / ``misses`` / ``evictions`` counters so sweeps and
+    benchmarks can report cache effectiveness.
+    """
+
+    def __init__(self, capacity: int = DEFAULT_MODULE_CACHE_SIZE) -> None:
+        if capacity < 1:
+            raise ValueError(f"cache capacity must be >= 1, got {capacity}")
+        self._entries: "OrderedDict[str, dict]" = OrderedDict()
+        self._capacity = capacity
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    @staticmethod
+    def key_of(source: str) -> str:
+        return hashlib.sha256(source.encode()).hexdigest()
+
+    @property
+    def capacity(self) -> int:
+        return self._capacity
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, source: str) -> bool:
+        return self.key_of(source) in self._entries
+
+    def namespace_for(self, source: str) -> dict:
+        """The compiled+exec'd namespace of ``source`` (compiling on miss)."""
+        key = self.key_of(source)
+        namespace = self._entries.get(key)
+        if namespace is not None:
+            self.hits += 1
+            self._entries.move_to_end(key)
+            return namespace
+        self.misses += 1
         code = compile(source, "<repro.target.pygen>", "exec")
         namespace = {}
         exec(code, namespace)
-        _MODULE_CACHE[source] = namespace
-    return namespace
+        self._entries[key] = namespace
+        while len(self._entries) > self._capacity:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+        return namespace
+
+    def discard(self, source: str) -> None:
+        """Drop one entry (used by benchmarks to force a cold run)."""
+        self._entries.pop(self.key_of(source), None)
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self.hits = self.misses = self.evictions = 0
+
+    def resize(self, capacity: int) -> None:
+        if capacity < 1:
+            raise ValueError(f"cache capacity must be >= 1, got {capacity}")
+        self._capacity = capacity
+        while len(self._entries) > capacity:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+
+    def stats(self) -> dict:
+        return {
+            "capacity": self._capacity,
+            "size": len(self._entries),
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+        }
+
+
+MODULE_CACHE = ModuleCache(
+    capacity=int(os.environ.get("REPRO_PYGEN_CACHE_SIZE", DEFAULT_MODULE_CACHE_SIZE))
+)
+
+
+def _module_for(source: str) -> dict:
+    return MODULE_CACHE.namespace_for(source)
+
+
+def design_fingerprint(sp: SystolicProgram) -> str:
+    """A stable identity for (source program, array spec, generator version).
+
+    Built from the canonical ``to_source()`` text and the exact step/place/
+    loading numbers, so it is reproducible across processes -- the key of
+    the on-disk render cache.
+    """
+    array = sp.array
+    h = hashlib.sha256()
+    h.update(PYGEN_FORMAT_VERSION.encode())
+    h.update(b"\x00")
+    h.update(sp.source.to_source().encode())
+    h.update(b"\x00")
+    h.update(repr(array.step.rows).encode())
+    h.update(b"\x00")
+    h.update(repr(array.place.rows).encode())
+    h.update(b"\x00")
+    loading = sorted(
+        (name, tuple(vec)) for name, vec in array.loading_vectors.items()
+    )
+    h.update(repr(loading).encode())
+    return h.hexdigest()
+
+
+def _render_cache_dir(cache_dir) -> "Path | None":
+    if cache_dir is not None:
+        return Path(cache_dir)
+    env_dir = os.environ.get("REPRO_RENDER_CACHE")
+    return Path(env_dir) if env_dir else None
+
+
+def render_python_cached(sp: SystolicProgram, cache_dir=None) -> str:
+    """:func:`render_python` behind the optional on-disk render cache.
+
+    With no ``cache_dir`` argument and no ``REPRO_RENDER_CACHE`` environment
+    variable this is exactly :func:`render_python`.  Otherwise the rendered
+    source is stored under ``<dir>/<fingerprint>.py`` and later invocations
+    (including in other processes) read it back without rendering.
+    """
+    root = _render_cache_dir(cache_dir)
+    if root is None:
+        return render_python(sp)
+    path = root / f"{design_fingerprint(sp)}.py"
+    try:
+        return path.read_text()
+    except OSError:
+        pass
+    source = render_python(sp)
+    try:
+        root.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
+        tmp.write_text(source)
+        tmp.replace(path)  # atomic: concurrent writers race benignly
+    except OSError:
+        pass  # a read-only cache directory disables writing, not execution
+    return source
 
 
 def execute_python(
@@ -525,15 +675,19 @@ def execute_python(
     inputs=None,
     *,
     threaded: bool = False,
+    cache_dir=None,
 ) -> dict:
     """Render, compile and run the generated module at a problem size.
 
     Returns ``{variable: {tuple(element): value}}`` -- the same contents the
     sequential oracle and the simulator produce, with tuple keys.
     ``threaded=True`` selects the threads-plus-bounded-queues engine instead
-    of the fast cooperative one; results are identical.
+    of the fast cooperative one; results are identical.  Rendering goes
+    through the two-level cache: the bounded in-process :data:`MODULE_CACHE`
+    plus, when ``cache_dir`` (or ``REPRO_RENDER_CACHE``) names a directory,
+    the on-disk render cache.
     """
-    source = render_python(sp)
+    source = render_python_cached(sp, cache_dir)
     module = _module_for(source)
     state = initial_state(sp.source, env, inputs)
     dense = {

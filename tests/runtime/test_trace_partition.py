@@ -11,7 +11,7 @@ from repro.extensions import (
 from repro.extensions.partition import _position_of
 from repro.geometry import Point
 from repro.runtime import build_network
-from repro.runtime.trace import Trace, TraceEvent, trace_run
+from repro.runtime.trace import Trace, TraceEvent, attach_tracer, trace_run
 from repro.systolic import all_paper_designs
 from repro.util.errors import RuntimeSimulationError
 from repro.verify import random_inputs
@@ -69,6 +69,46 @@ class TestTrace:
         t = Trace([TraceEvent("P(0,)", 3, "send"), TraceEvent("P(0,)", 5, "recv")])
         assert "2 events" in t.summary()
         assert t.compute_processes() == ["P(0,)"]
+
+
+class TestInstrumentationIdempotence:
+    """Regression: attaching a tracer twice used to stack wrapper on
+    wrapper, double-instrumenting every process and double-counting its
+    events."""
+
+    def test_double_attach_does_not_double_count(self):
+        sp, prog, inputs, oracle, n = setup_design()
+        baseline_net = build_network(sp, {"n": n}, inputs)
+        _, baseline = trace_run(baseline_net)
+
+        net = build_network(sp, {"n": n}, inputs)
+        first = attach_tracer(net)
+        second = attach_tracer(net)  # replaces, must not stack
+        net.run()
+        assert len(second.events) == len(baseline.events)
+        assert first.events == []  # superseded tracer receives nothing
+        assert net.host.final == oracle
+
+    def test_trace_run_twice_on_one_network(self):
+        sp, prog, inputs, oracle, n = setup_design()
+        net = build_network(sp, {"n": n}, inputs)
+        _, trace1 = trace_run(net)
+        count = len(trace1.events)
+        # a second trace_run re-instruments cleanly; the exhausted
+        # generators simply produce no further events (not 2x events)
+        _, trace2 = trace_run(net)
+        assert len(trace1.events) == count
+        assert trace2.events == []
+
+    def test_attach_then_trace_run_counts_once(self):
+        sp, prog, inputs, oracle, n = setup_design(idx=1)
+        baseline_net = build_network(sp, {"n": n}, inputs)
+        _, baseline = trace_run(baseline_net)
+
+        net = build_network(sp, {"n": n}, inputs)
+        attach_tracer(net)
+        _, trace = trace_run(net)
+        assert len(trace.events) == len(baseline.events)
 
 
 class TestAssignments:

@@ -2,17 +2,22 @@
 
 import pytest
 
-from repro.geometry import Matrix
+from repro.geometry import Matrix, Point
 from repro.systolic import (
     DesignCost,
+    cost_candidate,
     cost_of,
     explore_designs,
+    loading_candidates,
     matmul_design_e1,
     matmul_design_e2,
     matrix_product_program,
     polynomial_product_program,
     polyprod_design_d1,
 )
+from repro.systolic.designs import tensor_contraction_program
+from repro.systolic.spec import SystolicArray
+from repro.util.errors import ReproError
 
 
 class TestCostOf:
@@ -80,3 +85,53 @@ class TestExplore:
         costs = explore_designs(prog, Matrix([[2, 1]]), {"n": 3}, bound=1)
         assert all(isinstance(c, DesignCost) for c in costs)
         assert all("place" in c.row() for c in costs)
+
+
+class TestLoadingAxisFallback:
+    """Regression: ``_default_loading`` looped ``for axis in range(dim)``
+    but unconditionally broke after axis 0, so designs whose stationary
+    streams only load along another axis were silently dropped."""
+
+    # A tensor-contraction design (r = 4) whose stationary stream ``a``
+    # shifts element identities non-integrally along axis 0 but loads
+    # fine along axes 1 and 2.
+    STEP = Matrix([[1, 1, 1, 1]])
+    PLACE = Matrix([(-1, -1, 0, 0), (-1, -1, 0, 1), (-1, 0, 0, -1)])
+
+    def test_axis0_alone_fails(self):
+        prog = tensor_contraction_program()
+        axis0 = SystolicArray(
+            step=self.STEP,
+            place=self.PLACE,
+            loading_vectors={"a": Point.unit(3, 0)},
+        )
+        with pytest.raises(ReproError):
+            cost_of(prog, axis0, {"n": 2})
+
+    def test_costable_with_nonzero_axis(self):
+        prog = tensor_contraction_program()
+        cost = cost_candidate(prog, self.STEP, self.PLACE, {"n": 2})
+        assert isinstance(cost, DesignCost)
+        assert cost.stationary_streams == 1
+
+    def test_candidates_cover_every_axis(self):
+        prog = tensor_contraction_program()
+        cands = list(loading_candidates(prog, self.STEP, self.PLACE))
+        assert [c["a"] for c in cands] == [
+            Point.unit(3, 0),
+            Point.unit(3, 1),
+            Point.unit(3, 2),
+        ]
+
+    def test_moving_design_yields_single_empty_assignment(self):
+        prog = matrix_product_program()
+        e2 = matmul_design_e2()
+        cands = list(loading_candidates(prog, e2.step, e2.place))
+        assert cands == [{}]
+
+    def test_all_axes_failing_raises_last_error(self):
+        prog = matrix_product_program()
+        # every axis violates a restriction for this stationary design
+        place = Matrix([(-1, -1, 0), (-1, 1, 0)])
+        with pytest.raises(ReproError):
+            cost_candidate(prog, Matrix([[1, 1, 1]]), place, {"n": 2})

@@ -1,0 +1,192 @@
+"""Tests for the two-level pygen compile cache: the bounded in-process
+LRU of compiled namespaces and the optional on-disk render cache."""
+
+import pytest
+
+from repro import compile_systolic
+from repro.systolic.designs import (
+    all_paper_designs,
+    matmul_design_e1,
+    matrix_product_program,
+    polynomial_product_program,
+    polyprod_design_d1,
+    polyprod_design_d2,
+)
+from repro.target.pygen import (
+    MODULE_CACHE,
+    ModuleCache,
+    design_fingerprint,
+    execute_python,
+    render_python,
+    render_python_cached,
+)
+
+
+class TestModuleCacheLRU:
+    def test_miss_then_hit(self):
+        cache = ModuleCache(capacity=4)
+        ns1 = cache.namespace_for("X = 1")
+        assert (cache.hits, cache.misses) == (0, 1)
+        ns2 = cache.namespace_for("X = 1")
+        assert (cache.hits, cache.misses) == (1, 1)
+        assert ns1 is ns2
+        assert ns1["X"] == 1
+
+    def test_eviction_at_capacity(self):
+        cache = ModuleCache(capacity=2)
+        cache.namespace_for("X = 1")
+        cache.namespace_for("X = 2")
+        assert len(cache) == 2 and cache.evictions == 0
+        cache.namespace_for("X = 3")  # evicts the oldest ("X = 1")
+        assert len(cache) == 2
+        assert cache.evictions == 1
+        assert "X = 1" not in cache
+        assert "X = 2" in cache and "X = 3" in cache
+
+    def test_lru_order_respects_hits(self):
+        cache = ModuleCache(capacity=2)
+        cache.namespace_for("X = 1")
+        cache.namespace_for("X = 2")
+        cache.namespace_for("X = 1")  # refresh: "X = 2" is now oldest
+        cache.namespace_for("X = 3")
+        assert "X = 1" in cache
+        assert "X = 2" not in cache
+
+    def test_identical_namespace_after_eviction(self):
+        cache = ModuleCache(capacity=1)
+        first = dict(cache.namespace_for("VALUE = [1, 2, 3]"))
+        cache.namespace_for("VALUE = 'other'")  # evicts
+        assert cache.evictions == 1
+        again = cache.namespace_for("VALUE = [1, 2, 3]")
+        assert again["VALUE"] == first["VALUE"]
+        assert cache.misses == 3 and cache.hits == 0
+
+    def test_discard_and_clear(self):
+        cache = ModuleCache(capacity=4)
+        cache.namespace_for("X = 1")
+        cache.discard("X = 1")
+        assert len(cache) == 0
+        cache.discard("X = 1")  # absent: no error
+        cache.namespace_for("X = 1")
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.stats()["misses"] == 0
+
+    def test_resize_evicts(self):
+        cache = ModuleCache(capacity=3)
+        for i in range(3):
+            cache.namespace_for(f"X = {i}")
+        cache.resize(1)
+        assert len(cache) == 1 and cache.capacity == 1
+        assert "X = 2" in cache  # newest survives
+        with pytest.raises(ValueError):
+            cache.resize(0)
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            ModuleCache(capacity=0)
+
+    def test_stats_shape(self):
+        cache = ModuleCache(capacity=2)
+        assert cache.stats() == {
+            "capacity": 2,
+            "size": 0,
+            "hits": 0,
+            "misses": 0,
+            "evictions": 0,
+        }
+
+    def test_key_is_source_hash(self):
+        assert ModuleCache.key_of("a") != ModuleCache.key_of("b")
+        assert ModuleCache.key_of("a") == ModuleCache.key_of("a")
+
+
+class TestExecuteThroughBoundedCache:
+    """Generated-program results must be byte-identical before and after
+    eviction: eviction costs a recompile, never correctness."""
+
+    def test_results_stable_across_eviction(self):
+        exp_id, prog, arr = all_paper_designs()[0]
+        sp = compile_systolic(prog, arr)
+        source = render_python(sp)
+        old_capacity = MODULE_CACHE.capacity
+        try:
+            before = execute_python(sp, {"n": 3})
+            MODULE_CACHE.resize(1)
+            # exercise the module through a capacity-1 cache: each foreign
+            # compile evicts it
+            MODULE_CACHE.namespace_for("X = 1")
+            assert source not in MODULE_CACHE
+            after = execute_python(sp, {"n": 3})
+            assert after == before
+        finally:
+            MODULE_CACHE.resize(old_capacity)
+
+    def test_global_cache_hit_counter_moves(self):
+        exp_id, prog, arr = all_paper_designs()[0]
+        sp = compile_systolic(prog, arr)
+        execute_python(sp, {"n": 2})
+        hits = MODULE_CACHE.hits
+        execute_python(sp, {"n": 2})
+        assert MODULE_CACHE.hits == hits + 1
+
+
+class TestDesignFingerprint:
+    def test_deterministic(self):
+        prog = matrix_product_program()
+        sp1 = compile_systolic(prog, matmul_design_e1())
+        sp2 = compile_systolic(matrix_product_program(), matmul_design_e1())
+        assert design_fingerprint(sp1) == design_fingerprint(sp2)
+
+    def test_distinguishes_designs(self):
+        prog = polynomial_product_program()
+        d1 = compile_systolic(prog, polyprod_design_d1())
+        d2 = compile_systolic(prog, polyprod_design_d2())
+        assert design_fingerprint(d1) != design_fingerprint(d2)
+
+    def test_distinguishes_programs(self):
+        poly = compile_systolic(polynomial_product_program(), polyprod_design_d1())
+        mat = compile_systolic(matrix_product_program(), matmul_design_e1())
+        assert design_fingerprint(poly) != design_fingerprint(mat)
+
+
+class TestRenderCacheOnDisk:
+    def test_disabled_without_directory(self, monkeypatch):
+        monkeypatch.delenv("REPRO_RENDER_CACHE", raising=False)
+        prog = polynomial_product_program()
+        sp = compile_systolic(prog, polyprod_design_d1())
+        assert render_python_cached(sp) == render_python(sp)
+
+    def test_populates_and_reuses(self, tmp_path):
+        prog = polynomial_product_program()
+        sp = compile_systolic(prog, polyprod_design_d1())
+        first = render_python_cached(sp, tmp_path)
+        cached_file = tmp_path / f"{design_fingerprint(sp)}.py"
+        assert cached_file.exists()
+        assert cached_file.read_text() == first == render_python(sp)
+        # poison the cache entry to prove the second call reads the disk
+        cached_file.write_text("# sentinel")
+        assert render_python_cached(sp, tmp_path) == "# sentinel"
+
+    def test_env_variable_enables(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_RENDER_CACHE", str(tmp_path))
+        prog = polynomial_product_program()
+        sp = compile_systolic(prog, polyprod_design_d2())
+        source = render_python_cached(sp)
+        assert (tmp_path / f"{design_fingerprint(sp)}.py").read_text() == source
+
+    def test_execute_python_through_disk_cache(self, tmp_path):
+        prog = polynomial_product_program()
+        sp = compile_systolic(prog, polyprod_design_d1())
+        plain = execute_python(sp, {"n": 3})
+        cached = execute_python(sp, {"n": 3}, cache_dir=tmp_path)
+        assert cached == plain
+        assert list(tmp_path.glob("*.py"))
+
+    def test_unwritable_directory_still_renders(self, tmp_path):
+        blocked = tmp_path / "file-not-dir"
+        blocked.write_text("")
+        prog = polynomial_product_program()
+        sp = compile_systolic(prog, polyprod_design_d1())
+        # cache root is a *file*: writing fails, rendering must not
+        assert render_python_cached(sp, blocked) == render_python(sp)

@@ -5,7 +5,7 @@ import pathlib
 
 import pytest
 
-from repro.cli import load_design, main, parse_sizes
+from repro.cli import load_design, main, parse_size_sweep, parse_sizes
 from repro.util.errors import ReproError
 
 SPECS = pathlib.Path(__file__).resolve().parent.parent / "examples" / "specs"
@@ -20,6 +20,28 @@ class TestHelpers:
     def test_parse_sizes_bad(self):
         with pytest.raises(ReproError):
             parse_sizes(["n:4"])
+
+    def test_parse_size_sweep_single(self):
+        assert parse_size_sweep(["n=4"]) == [{"n": 4}]
+
+    def test_parse_size_sweep_repeated_name(self):
+        assert parse_size_sweep(["n=4", "n=8"]) == [{"n": 4}, {"n": 8}]
+
+    def test_parse_size_sweep_dedupes(self):
+        assert parse_size_sweep(["n=4", "n=4"]) == [{"n": 4}]
+
+    def test_parse_size_sweep_cartesian(self):
+        assert parse_size_sweep(["n=2", "m=1", "n=3"]) == [
+            {"n": 2, "m": 1},
+            {"n": 3, "m": 1},
+        ]
+
+    def test_parse_size_sweep_empty(self):
+        assert parse_size_sweep([]) == [{}]
+
+    def test_parse_size_sweep_bad(self):
+        with pytest.raises(ReproError):
+            parse_size_sweep(["n:4"])
 
     def test_load_design(self):
         array = load_design(DESIGN)
@@ -90,5 +112,49 @@ class TestExplore:
         assert main(["explore", SOURCE, "-s", "n=4", "--limit", "5"]) == 0
         out = capsys.readouterr().out
         assert "procs" in out and "total" in out
-        # at most limit data rows under the two header lines
-        assert len([l for l in out.splitlines() if l and l[0] == " "]) <= 8
+        assert "timings:" in out
+
+    def test_explore_size_sweep(self, capsys):
+        assert main(
+            ["explore", SOURCE, "-s", "n=3", "-s", "n=5", "--limit", "3"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "costs at {'n': 3}" in out
+        assert "costs at {'n': 5}" in out
+        assert "2 size(s)" in out
+
+    def test_explore_jobs_matches_serial(self, capsys):
+        assert main(["explore", SOURCE, "-s", "n=3", "--limit", "6"]) == 0
+        serial = capsys.readouterr().out
+        assert main(
+            ["explore", SOURCE, "-s", "n=3", "--limit", "6", "--jobs", "2"]
+        ) == 0
+        parallel = capsys.readouterr().out
+        # identical ranked tables; only the timings line may differ
+        strip = lambda text: [
+            l for l in text.splitlines() if not l.startswith("timings:")
+        ]
+        assert strip(serial) == strip(parallel)
+        assert "jobs 2" in parallel
+
+    def test_explore_without_step_candidates_exits_cleanly(
+        self, capsys, monkeypatch
+    ):
+        import repro.cli as cli_mod
+
+        monkeypatch.setattr(cli_mod, "synthesize_step", lambda *a, **k: [])
+        assert main(["explore", SOURCE, "-s", "n=3"]) == 2
+        err = capsys.readouterr().err
+        assert "error:" in err and "step candidate" in err
+
+
+class TestSynthesizeGuard:
+    def test_synthesize_without_step_candidates_exits_cleanly(
+        self, capsys, monkeypatch
+    ):
+        import repro.cli as cli_mod
+
+        monkeypatch.setattr(cli_mod, "synthesize_step", lambda *a, **k: [])
+        assert main(["synthesize", SOURCE]) == 2
+        err = capsys.readouterr().err
+        assert "error:" in err and "step candidate" in err

@@ -1,0 +1,164 @@
+#!/usr/bin/env python3
+"""Benchmark design-space exploration: serial vs parallel vs batched sweep.
+
+Writes ``BENCH_explore.json`` at the repository root:
+
+* ``explore`` -- the design space (E.2's matmul space by default: step
+  ``(1,1,1)``, place bound 1, 228 candidates) explored serially and with a
+  worker pool at each requested job count: per-stage timings
+  (synthesis / compile+cost / total), parallel speedup, and an
+  order-stability verdict (the parallel ranked table must equal the serial
+  one exactly).
+* ``multi_size_sweep`` -- the same space costed at several sizes: one full
+  exploration per size (recompiling every design each time, what a naive
+  caller does) vs one batched sweep that compiles each design once and
+  evaluates its closed forms at every size.  The batching speedup is
+  algorithmic, so it shows up even on a single core.
+* ``cpu_count`` -- recorded so parallel speedups can be interpreted: a
+  1-CPU container cannot beat serial with process parallelism, a 4-core CI
+  runner can.
+
+Usage:
+    PYTHONPATH=src python tools/bench_explore.py [--quick] [--check] [-o OUT]
+
+``--quick`` switches to the small polynomial-product space (CI smoke).
+``--check`` exits non-zero unless every parallel table matches the serial
+one and the batched sweep beats per-size re-exploration.
+"""
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import pathlib
+import sys
+import time
+
+_ROOT = pathlib.Path(__file__).resolve().parent.parent
+SRC = _ROOT / "src"
+if str(SRC) not in sys.path:
+    sys.path.insert(0, str(SRC))
+
+from repro.geometry.linalg import Matrix
+from repro.parallel import sweep_designs
+from repro.systolic.designs import (
+    matrix_product_program,
+    polynomial_product_program,
+)
+
+
+def _sweep(program, step, envs, jobs):
+    t0 = time.perf_counter()
+    result = sweep_designs(program, step, envs, bound=1, jobs=jobs)
+    return time.perf_counter() - t0, result
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="small polyprod space (CI smoke)")
+    parser.add_argument("--check", action="store_true",
+                        help="fail on table mismatch or no batching win")
+    parser.add_argument("--jobs", type=int, action="append", default=None,
+                        help="job counts to measure (repeatable; default 2,4)")
+    parser.add_argument("-o", "--output",
+                        default=str(_ROOT / "BENCH_explore.json"))
+    args = parser.parse_args(argv)
+
+    if args.quick:
+        program = polynomial_product_program()
+        step = Matrix([[2, 1]])
+        space = "polyprod: step (2,1), place bound 1"
+        explore_n, sweep_ns = 5, (3, 5)
+    else:
+        program = matrix_product_program()
+        step = Matrix([[1, 1, 1]])
+        space = "E2: matmul step (1,1,1), place bound 1"
+        explore_n, sweep_ns = 4, (3, 4)
+    job_counts = args.jobs or [2, 4]
+
+    # -- serial vs parallel on one size -----------------------------------
+    env = {"n": explore_n}
+    serial_s, serial = _sweep(program, step, [env], jobs=1)
+    serial_table = serial.costs_at(env)
+    print(f"{space} at n={explore_n}: serial {serial_s:.2f}s "
+          f"({serial.timings.candidates} candidates, "
+          f"{serial.timings.compiled} compilable)")
+
+    parallel_rows = []
+    tables_match = True
+    for jobs in job_counts:
+        par_s, par = _sweep(program, step, [env], jobs=jobs)
+        matches = par.costs_at(env) == serial_table
+        tables_match &= matches
+        parallel_rows.append({
+            "jobs": jobs,
+            "timings": par.timings.row(),
+            "total_s": round(par_s, 6),
+            "speedup_vs_serial": round(serial_s / par_s, 2),
+            "table_matches_serial": matches,
+        })
+        print(f"  jobs={jobs}: {par_s:.2f}s  "
+              f"{serial_s / par_s:4.2f}x  "
+              f"{'ok' if matches else 'TABLE MISMATCH'}")
+
+    # -- per-size re-exploration vs one batched multi-size sweep ----------
+    sweep_envs = [{"n": n} for n in sweep_ns]
+    naive_s = 0.0
+    naive_tables = []
+    for e in sweep_envs:
+        dt, res = _sweep(program, step, [e], jobs=1)
+        naive_s += dt
+        naive_tables.append(res.costs_at(e))
+    batched_s, batched = _sweep(program, step, sweep_envs, jobs=1)
+    batched_match = all(
+        batched.costs_at(e) == table
+        for e, table in zip(sweep_envs, naive_tables)
+    )
+    sweep_speedup = naive_s / batched_s
+    print(f"multi-size sweep n={list(sweep_ns)}: per-size {naive_s:.2f}s, "
+          f"batched {batched_s:.2f}s  {sweep_speedup:4.2f}x  "
+          f"{'ok' if batched_match else 'TABLE MISMATCH'}")
+
+    report = {
+        "units": "seconds",
+        "cpu_count": os.cpu_count(),
+        "space": space,
+        "explore": {
+            "n": explore_n,
+            "candidates": serial.timings.candidates,
+            "compilable": serial.timings.compiled,
+            "designs_costed": len(serial_table),
+            "serial": {
+                "timings": serial.timings.row(),
+                "total_s": round(serial_s, 6),
+            },
+            "parallel": parallel_rows,
+        },
+        "multi_size_sweep": {
+            "sizes": list(sweep_ns),
+            "per_size_serial_s": round(naive_s, 6),
+            "batched_s": round(batched_s, 6),
+            "speedup": round(sweep_speedup, 2),
+            "tables_match": batched_match,
+        },
+    }
+    out = pathlib.Path(args.output)
+    out.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {out}")
+
+    if args.check:
+        if not tables_match or not batched_match:
+            print("FAIL: parallel/batched table mismatch", file=sys.stderr)
+            return 1
+        if sweep_speedup <= 1.2:
+            print(f"FAIL: batched sweep speedup {sweep_speedup:.2f}x <= 1.2x",
+                  file=sys.stderr)
+            return 1
+        print("check passed: order-stable tables, batched sweep "
+              f"{sweep_speedup:.2f}x over per-size re-exploration")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
