@@ -28,6 +28,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import warnings
 from pathlib import Path
 
 from repro.core.scheme import compile_systolic
@@ -147,7 +148,7 @@ def cmd_synthesize(args: argparse.Namespace) -> int:
 
 def cmd_explore(args: argparse.Namespace) -> int:
     from repro.analysis.report import format_table
-    from repro.parallel import sweep_designs
+    from repro.parallel import resolve_jobs, sweep_designs
 
     program = parse_program(Path(args.source).read_text())
     steps = synthesize_step(program, bound=args.bound)
@@ -161,10 +162,21 @@ def cmd_explore(args: argparse.Namespace) -> int:
         envs = parse_size_sweep(args.size)
     else:
         envs = [{s: 4 for s in _size_symbols(program)}]
-    result = sweep_designs(
-        program, step, envs, bound=1, limit=args.limit, jobs=args.jobs
-    )
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always", RuntimeWarning)
+        result = sweep_designs(
+            program, step, envs, bound=1, limit=args.limit, jobs=args.jobs
+        )
     t = result.timings
+    requested = resolve_jobs(args.jobs)
+    if t.jobs < requested:
+        reason = "; ".join(str(w.message) for w in caught) or (
+            f"only {t.candidates} candidate(s)"
+        )
+        print(
+            f"note: --jobs {requested} reduced to {t.jobs} ({reason})",
+            file=sys.stderr,
+        )
     for env, costs in result.by_size:
         print(f"step {step.rows[0]}, costs at {env}:")
         print(format_table([c.row() for c in costs]))

@@ -119,10 +119,9 @@ class SystolicProgram:
 
     def in_computation_space(self, y: Point, env: Mapping[str, Numeric]) -> bool:
         """Section 7.6: y is in CS iff some guard of ``first`` holds."""
-        binding = self.bind(y, env)
-        return bool(self.first.matching_cases(binding)) or (
-            not self.first.has_default
-        )
+        if not self.first.has_default:
+            return True
+        return self.first.any_case_holds(self.bind(y, env))
 
     def computation_points(self, env: Mapping[str, Numeric]) -> list[Point]:
         return [

@@ -23,6 +23,7 @@ from repro.core.buffers import derive_pass_amount
 from repro.core.firstlast import derive_count, derive_first, derive_last, is_simple_place
 from repro.core.increment import derive_increment
 from repro.core.io_comm import derive_io_endpoint, derive_stream_increment
+from repro.core.memo import MEMO, program_fingerprint, stable_key
 from repro.core.program import StreamPlan, SystolicProgram
 from repro.core.propagation import derive_drain, derive_soak
 from repro.lang.program import SourceProgram
@@ -60,8 +61,12 @@ def compile_systolic(
     prune: bool = True,
 ) -> SystolicProgram:
     """Compile a source program and systolic array into a systolic program."""
+    fp = program_fingerprint(program)
     if validate:
-        validate_program(program)
+        # validate_program only depends on the program, which is shared by
+        # every candidate in a sweep -- run it once per fingerprint.  The
+        # array check is per-design and stays unmemoized.
+        MEMO.get("validate", (fp,), lambda: (validate_program(program), True)[1])
         check_systolic_array(array, program)
 
     dim = program.r - 1
@@ -91,12 +96,34 @@ def compile_systolic(
         process_space_guard(ps_min, ps_max, coord_names)
     )
 
-    # 7.2 -- computation repeaters
-    increment = derive_increment(array)
+    # 7.2 -- computation repeaters.  Every derivation below is routed
+    # through the cross-design memo: candidates in a sweep share `step`,
+    # the program, and usually several `place` rows, so the same closed
+    # forms (and the Fourier-Motzkin work inside simplify) recur hundreds
+    # of times across cost_candidate calls.
+    step_rows = array.step.rows
+    place_rows = array.place.rows
+    increment = MEMO.get(
+        "increment", (step_rows, place_rows),
+        lambda: derive_increment(array),
+    )
     simple = is_simple_place(array, increment)
-    first = derive_first(program, array, increment, coord_names)
-    last = derive_last(program, array, increment, coord_names)
-    count = derive_count(first, last, increment, assumptions)
+    first = MEMO.get(
+        "endpoint", (fp, step_rows, place_rows, increment, coord_names, "first"),
+        lambda: derive_first(program, array, increment, coord_names),
+    )
+    last = MEMO.get(
+        "endpoint", (fp, step_rows, place_rows, increment, coord_names, "last"),
+        lambda: derive_last(program, array, increment, coord_names),
+    )
+    # Guards and piecewise forms go into keys via stable_key: their __eq__
+    # ignores ordering, but the cached result's rendering must not change
+    # depending on which order-variant populated the table first.
+    count = MEMO.get(
+        "count",
+        (stable_key(first), stable_key(last), increment, stable_key(assumptions)),
+        lambda: derive_count(first, last, increment, assumptions),
+    )
 
     # 7.3 - 7.6 -- per-stream plans
     plans: list[StreamPlan] = []
@@ -110,7 +137,14 @@ def compile_systolic(
             raise CompilationError(
                 f"stream {stream.name}: hop vector {hop} is not integral"
             )
-        increment_s = derive_stream_increment(stream, increment, array)
+        # `transport` (the loading vector for stationary streams, the flow
+        # otherwise) is part of the key: the same step/place rows with a
+        # different loading vector derive a different increment_s.
+        increment_s = MEMO.get(
+            "increment_s",
+            (fp, stream.name, step_rows, place_rows, increment, transport),
+            lambda: derive_stream_increment(stream, increment, array),
+        )
         if any(abs(c) > 1 for c in increment_s):
             # Surfaced by this reproduction: the paper restricts the
             # components of `increment` to {-1,0,+1} (A.2) but places no
@@ -126,12 +160,33 @@ def compile_systolic(
                 "(6)/(7) require unit element steps (implicit restriction "
                 "of the scheme)"
             )
-        first_s = derive_io_endpoint(stream, increment_s, first, "first")
-        last_s = derive_io_endpoint(stream, increment_s, first, "last")
-        soak = derive_soak(stream, first, first_s, increment_s)
-        drain = derive_drain(stream, last, last_s, increment_s)
-        pass_amount = derive_pass_amount(first_s, last_s, increment_s)
+        first_key = stable_key(first)
+        first_s = MEMO.get(
+            "io_endpoint", (fp, stream.name, increment_s, first_key, "first"),
+            lambda: derive_io_endpoint(stream, increment_s, first, "first"),
+        )
+        last_s = MEMO.get(
+            "io_endpoint", (fp, stream.name, increment_s, first_key, "last"),
+            lambda: derive_io_endpoint(stream, increment_s, first, "last"),
+        )
+        soak = MEMO.get(
+            "soak",
+            (fp, stream.name, first_key, stable_key(first_s), increment_s),
+            lambda: derive_soak(stream, first, first_s, increment_s),
+        )
+        drain = MEMO.get(
+            "drain",
+            (fp, stream.name, stable_key(last), stable_key(last_s), increment_s),
+            lambda: derive_drain(stream, last, last_s, increment_s),
+        )
+        pass_amount = MEMO.get(
+            "pass_amount",
+            (stable_key(first_s), stable_key(last_s), increment_s),
+            lambda: derive_pass_amount(first_s, last_s, increment_s),
+        )
         if prune:
+            # simplify() itself is memoized on the interned instances, so
+            # repeated forms cost one dict lookup here.
             first_s = first_s.simplify(ps_assumptions)
             last_s = last_s.simplify(ps_assumptions)
             soak = soak.simplify(ps_assumptions)

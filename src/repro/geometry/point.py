@@ -29,7 +29,12 @@ Scalar = Union[int, Fraction]
 
 def _normalize_scalar(value: Scalar) -> Scalar:
     """Collapse integral Fractions to plain ints for canonical hashing."""
-    if isinstance(value, Fraction):
+    # Exact-type fast paths first: this runs once per coordinate of every
+    # point a sweep enumerates.
+    tp = type(value)
+    if tp is int:
+        return value
+    if tp is Fraction or isinstance(value, Fraction):
         if value.denominator == 1:
             return int(value)
         return value

@@ -16,6 +16,7 @@ hand-simplification which also only removes impossible branches.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from fractions import Fraction
 from typing import Iterable, Sequence
@@ -84,35 +85,50 @@ class ConstraintSystem:
         return fourier_motzkin_feasible(self.constraints, self.dim)
 
 
-def _eliminate(constraints: list[LinearConstraint], var: int) -> list[LinearConstraint] | None:
-    """Eliminate variable ``var``; returns None if infeasibility is found."""
-    lowers: list[LinearConstraint] = []  # coeff[var] > 0: x_var >= -(rest)/coeff
-    uppers: list[LinearConstraint] = []  # coeff[var] < 0: x_var <= -(rest)/coeff
-    others: list[LinearConstraint] = []
-    for c in constraints:
-        a = c.coeffs[var]
+def _reduce_row(row: tuple[int, ...]) -> tuple[int, ...]:
+    """Divide an integer row by the gcd of its entries (keeps numbers small)."""
+    g = 0
+    for x in row:
+        g = math.gcd(g, x)
+    if g > 1:
+        row = tuple(x // g for x in row)
+    return row
+
+
+def _eliminate(rows: list[tuple[int, ...]], var: int) -> list[tuple[int, ...]] | None:
+    """Eliminate variable ``var``; returns None if infeasibility is found.
+
+    Rows are integer tuples ``(c_0, ..., c_{dim-1}, const)`` encoding
+    ``sum c_i x_i + const >= 0``; the final slot is the constant.
+    """
+    lowers: list[tuple[int, ...]] = []  # coeff[var] > 0: x_var >= -(rest)/coeff
+    uppers: list[tuple[int, ...]] = []  # coeff[var] < 0: x_var <= -(rest)/coeff
+    out: list[tuple[int, ...]] = []
+    for row in rows:
+        a = row[var]
         if a > 0:
-            lowers.append(c)
+            lowers.append(row)
         elif a < 0:
-            uppers.append(c)
+            uppers.append(row)
         else:
-            if c.trivially_false:
-                return None
-            others.append(c)
-    out = list(others)
+            out.append(row)
+    seen: set[tuple[int, ...]] = set()
     for lo in lowers:
+        a_lo = lo[var]
         for hi in uppers:
-            a_lo = lo.coeffs[var]
-            a_hi = -hi.coeffs[var]
-            # a_hi * lo + a_lo * hi eliminates x_var (both positive multipliers).
-            coeffs = tuple(
-                a_hi * cl + a_lo * ch for cl, ch in zip(lo.coeffs, hi.coeffs)
-            )
-            const = a_hi * lo.const + a_lo * hi.const
-            new = LinearConstraint(coeffs, const)
-            if new.trivially_false:
-                return None
-            if not new.trivially_true:
+            a_hi = -hi[var]
+            # a_hi * lo + a_lo * hi eliminates x_var (both multipliers > 0).
+            new = tuple(a_hi * cl + a_lo * ch for cl, ch in zip(lo, hi))
+            for x in new[:-1]:
+                if x:
+                    break
+            else:
+                if new[-1] < 0:
+                    return None
+                continue  # trivially true
+            new = _reduce_row(new)
+            if new not in seen:
+                seen.add(new)
                 out.append(new)
     return out
 
@@ -124,19 +140,36 @@ def fourier_motzkin_feasible(
 
     Classic Fourier-Motzkin: eliminate each variable in turn, combining each
     lower bound with each upper bound; the system is infeasible exactly when
-    a trivially false constant constraint appears.
+    a trivially false constant constraint appears.  Each constraint is
+    scaled to integer coefficients up front (feasibility is invariant under
+    positive scaling), so the elimination runs entirely in machine-int
+    arithmetic instead of ``Fraction`` -- this is the sweep's hottest inner
+    loop.
     """
-    work = []
+    work: list[tuple[int, ...]] = []
     for c in constraints:
         if c.dim != dim:
             raise GeometryError("constraint dimension mismatch")
-        if c.trivially_false:
-            return False
-        if not c.trivially_true:
-            work.append(c)
+        entries = tuple(c.coeffs) + (c.const,)
+        lcm = 1
+        for e in entries:
+            d = e.denominator
+            if d != 1:
+                lcm = lcm * d // math.gcd(lcm, d)
+        row = tuple(int(e * lcm) for e in entries)
+        for x in row[:-1]:
+            if x:
+                break
+        else:
+            if row[-1] < 0:
+                return False
+            continue  # trivially true
+        work.append(_reduce_row(row))
     for var in range(dim):
         result = _eliminate(work, var)
         if result is None:
             return False
         work = result
-    return all(not c.trivially_false for c in work)
+    # By construction every surviving row still involves a variable or was
+    # discharged when derived, but keep the final constant check for safety.
+    return all(row[-1] >= 0 for row in work)

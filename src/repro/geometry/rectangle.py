@@ -9,6 +9,7 @@ problem size) lives in :mod:`repro.symbolic`.
 
 from __future__ import annotations
 
+import itertools
 from dataclasses import dataclass
 from typing import Iterator
 
@@ -60,14 +61,13 @@ class Rectangle:
 
     def __iter__(self) -> Iterator[Point]:
         """Enumerate all lattice points in lexicographic order."""
-        def rec(prefix: tuple, axis: int) -> Iterator[Point]:
-            if axis == self.dim:
-                yield Point(prefix)
-                return
-            for c in range(int(self.lo[axis]), int(self.hi[axis]) + 1):
-                yield from rec(prefix + (c,), axis + 1)
-
-        return rec((), 0)
+        ranges = [
+            range(int(l), int(h) + 1) for l, h in zip(self.lo, self.hi)
+        ]
+        # The coordinates are plain ints, so bypass Point's per-coordinate
+        # normalization; enumeration is the cost stage's inner loop.
+        make = tuple.__new__
+        return (make(Point, t) for t in itertools.product(*ranges))
 
     def corners(self) -> Iterator[Point]:
         """The ``2^dim`` vertices of the box."""

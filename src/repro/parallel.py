@@ -12,10 +12,21 @@ per-candidate cost, so the batching alone is a measured win even on one
 core -- see ``tools/bench_explore.py``).
 
 The heavyweight context ``(program, step, envs)`` travels to each worker
-once via the pool initializer; individual tasks are just place row tuples
-(:func:`repro.systolic.schedule.candidate_tasks`).  Results come back in
-candidate order and are ranked with the same deterministic key as the
-serial path, so ``jobs=N`` produces byte-identical tables for every N.
+once via the pool initializer -- together with a snapshot of the driver's
+cross-design derivation memo (:data:`repro.core.memo.MEMO`), so workers
+start warm instead of re-deriving shared forms -- and individual tasks are
+just place row tuples (:func:`repro.systolic.schedule.candidate_tasks`).
+Results come back in candidate order and are ranked with the same
+deterministic key as the serial path, so ``jobs=N`` produces
+byte-identical tables for every N.
+
+Degenerate-parallelism guard: a pool cannot beat the serial path on a
+single-CPU machine (BENCH_explore.json's PR-2 numbers show jobs=2 at 0.93x
+serial there), and workers beyond the candidate count are pure overhead.
+``sweep_designs`` therefore clamps the worker count to the task count and
+falls back to the serial path (with a :class:`RuntimeWarning`) when only
+one CPU is available; ``force_pool=True`` overrides the CPU check for
+tests and measurements.
 """
 
 from __future__ import annotations
@@ -23,9 +34,12 @@ from __future__ import annotations
 import multiprocessing
 import os
 import time
+import warnings
 from dataclasses import dataclass
 from typing import Mapping, Sequence
 
+from repro import profiling
+from repro.core.memo import MEMO
 from repro.geometry.linalg import Matrix
 from repro.lang.program import SourceProgram
 from repro.symbolic.affine import Numeric
@@ -48,7 +62,7 @@ class SweepTimings:
     synthesis_s: float  # place-candidate enumeration
     cost_s: float  # compile + cost over all candidates and sizes
     total_s: float
-    jobs: int
+    jobs: int  # effective worker count (after the serial fallback)
     candidates: int  # enumerated place candidates
     compiled: int  # candidates some loading axis compiled
 
@@ -84,10 +98,15 @@ class SweepResult:
 _WORKER: dict = {}
 
 
-def _init_worker(program: SourceProgram, step_rows, envs) -> None:
+def _init_worker(program: SourceProgram, step_rows, envs, memo_state=None) -> None:
     _WORKER["program"] = program
     _WORKER["step"] = Matrix(step_rows)
     _WORKER["envs"] = envs
+    if memo_state:
+        # Pickling rebuilds every symbolic object through its constructor,
+        # re-interning it in this process, so the imported entries are
+        # canonical here too.
+        MEMO.import_state(memo_state)
 
 
 def _sweep_task(place_rows):
@@ -116,6 +135,7 @@ def sweep_designs(
     bound: int = 1,
     limit: int | None = None,
     jobs: int | None = None,
+    force_pool: bool = False,
 ) -> SweepResult:
     """Cost the whole bounded place design space at every requested size.
 
@@ -123,6 +143,13 @@ def sweep_designs(
     ``envs``; ``jobs`` > 1 distributes candidates over a process pool.  The
     per-size tables are ranked exactly like serial
     :func:`repro.systolic.explore.explore_designs` output.
+
+    The effective worker count is clamped to the candidate count, and the
+    sweep falls back to the serial path -- emitting a
+    :class:`RuntimeWarning` -- when ``os.cpu_count()`` is 1 (process
+    parallelism can only add overhead there); ``timings.jobs`` records the
+    effective count.  Pass ``force_pool=True`` to keep the pool regardless
+    (measurements, cross-process tests).
     """
     if not envs:
         raise ValueError("sweep_designs needs at least one size environment")
@@ -132,13 +159,23 @@ def sweep_designs(
     t_synth = time.perf_counter()
 
     n_jobs = resolve_jobs(jobs)
-    if n_jobs > 1 and len(tasks) > 1:
+    pool_jobs = min(n_jobs, len(tasks)) if tasks else 1
+    if pool_jobs > 1 and not force_pool and (os.cpu_count() or 1) == 1:
+        warnings.warn(
+            f"sweep_designs: requested jobs={n_jobs} but only 1 CPU is "
+            "available; using the serial path (pass force_pool=True to "
+            "override)",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        pool_jobs = 1
+    if pool_jobs > 1:
         ctx = multiprocessing.get_context()
-        chunksize = max(1, len(tasks) // (n_jobs * 4))
+        chunksize = max(1, len(tasks) // (pool_jobs * 4))
         with ctx.Pool(
-            processes=n_jobs,
+            processes=pool_jobs,
             initializer=_init_worker,
-            initargs=(program, step.rows, size_envs),
+            initargs=(program, step.rows, size_envs, MEMO.export_state()),
         ) as pool:
             results = pool.map(_sweep_task, tasks, chunksize=chunksize)
     else:
@@ -161,11 +198,15 @@ def sweep_designs(
         (env, tuple(rank_costs(costs, limit)))
         for env, costs in zip(size_envs, per_size)
     )
+    t_end = time.perf_counter()
+    profiling.add_stage("sweep.synthesis", t_synth - t_start)
+    profiling.add_stage("sweep.cost", t_cost - t_synth)
+    profiling.add_stage("sweep.rank", t_end - t_cost)
     timings = SweepTimings(
         synthesis_s=t_synth - t_start,
         cost_s=t_cost - t_synth,
-        total_s=time.perf_counter() - t_start,
-        jobs=n_jobs,
+        total_s=t_end - t_start,
+        jobs=pool_jobs,
         candidates=len(tasks),
         compiled=compiled,
     )

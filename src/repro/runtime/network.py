@@ -151,7 +151,7 @@ class _NetworkBuilder:
         if member is None:
             first = self.sp.first
             member = self._in_cs_cache[y] = (
-                bool(first.matching_cases(self._bind(y))) or not first.has_default
+                not first.has_default or first.any_case_holds(self._bind(y))
             )
         return member
 

@@ -7,9 +7,15 @@ coordinates (e.g. ``col``, ``row``), guarded by conjunctions of affine
 inequalities and combined into piecewise case analyses (the paper's
 ``if .. [] .. fi`` alternatives).  This package implements exactly that
 expression language, with exact rational arithmetic.
+
+All expression classes are hash-consed (:mod:`repro.symbolic.intern`):
+structurally equal instances are pointer-equal, expensive normalization
+queries are memoized on the canonical instance, and evaluation runs through
+compiled flat closures (:mod:`repro.symbolic.compile`).
 """
 
 from repro.symbolic.affine import Affine, AffineVec
+from repro.symbolic.compile import compile_guard, compile_piecewise
 from repro.symbolic.guard import Constraint, Guard, interval
 from repro.symbolic.piecewise import Case, Piecewise
 
@@ -21,4 +27,6 @@ __all__ = [
     "interval",
     "Case",
     "Piecewise",
+    "compile_guard",
+    "compile_piecewise",
 ]

@@ -16,28 +16,49 @@ from __future__ import annotations
 
 from fractions import Fraction
 from typing import Iterable, Mapping, Sequence, Union
+from weakref import WeakValueDictionary
 
 from repro.geometry.point import Point
+from repro.symbolic.intern import counter
 from repro.util.errors import SymbolicError
 
 Numeric = Union[int, Fraction]
 AffineLike = Union["Affine", int, Fraction]
 
 
+_ZERO = Fraction(0)
+
+
 def _as_fraction(value: Numeric) -> Fraction:
+    # Exact-type fast paths: re-wrapping an existing Fraction goes through
+    # fractions.Fraction.__new__'s slow generic path and dominated the
+    # profile of large sweeps.
+    tp = type(value)
+    if tp is Fraction:
+        return value
+    if tp is int:
+        return Fraction(value)
     if isinstance(value, bool) or not isinstance(value, (int, Fraction)):
         raise SymbolicError(f"expected an exact number, got {value!r}")
     return Fraction(value)
 
 
 class Affine:
-    """An immutable affine expression ``sum coeffs[s] * s + const``."""
+    """An immutable, hash-consed affine expression ``sum coeffs[s]*s + const``.
 
-    __slots__ = ("coeffs", "const", "_hash")
+    Construction interns: structurally equal expressions built through the
+    constructor are the *same object*, so ``__eq__`` has an identity fast
+    path and downstream caches can key on identity.
+    """
 
-    def __init__(
-        self, coeffs: Mapping[str, Numeric] | None = None, const: Numeric = 0
-    ) -> None:
+    __slots__ = ("coeffs", "const", "_hash", "__weakref__")
+
+    _intern: "WeakValueDictionary[tuple, Affine]" = WeakValueDictionary()
+    _stats = counter("affine_intern")
+
+    def __new__(
+        cls, coeffs: Mapping[str, Numeric] | None = None, const: Numeric = 0
+    ) -> "Affine":
         clean: dict[str, Fraction] = {}
         for sym, c in (coeffs or {}).items():
             if not isinstance(sym, str) or not sym:
@@ -45,11 +66,44 @@ class Affine:
             f = _as_fraction(c)
             if f != 0:
                 clean[sym] = f
-        object.__setattr__(self, "coeffs", dict(clean))
-        object.__setattr__(self, "const", _as_fraction(const))
-        object.__setattr__(
-            self, "_hash", hash((frozenset(clean.items()), self.const))
-        )
+        const_f = _as_fraction(const)
+        key = (frozenset(clean.items()), const_f)
+        stats = cls._stats
+        self = cls._intern.get(key)
+        if self is not None:
+            stats.hits += 1
+            return self
+        stats.misses += 1
+        self = object.__new__(cls)
+        object.__setattr__(self, "coeffs", clean)
+        object.__setattr__(self, "const", const_f)
+        object.__setattr__(self, "_hash", hash(key))
+        cls._intern[key] = self
+        return self
+
+    @classmethod
+    def _make(cls, coeffs: dict[str, Fraction], const: Fraction) -> "Affine":
+        """Internal interning constructor for arithmetic results.
+
+        Callers guarantee ``coeffs`` maps symbol strings to ``Fraction``
+        (zero values allowed, they are dropped here) and ``const`` is a
+        ``Fraction``; skipping the public constructor's per-item validation
+        matters because arithmetic dominates large sweeps.
+        """
+        clean = {s: c for s, c in coeffs.items() if c}
+        key = (frozenset(clean.items()), const)
+        stats = cls._stats
+        self = cls._intern.get(key)
+        if self is not None:
+            stats.hits += 1
+            return self
+        stats.misses += 1
+        self = object.__new__(cls)
+        object.__setattr__(self, "coeffs", clean)
+        object.__setattr__(self, "const", const)
+        object.__setattr__(self, "_hash", hash(key))
+        cls._intern[key] = self
+        return self
 
     def __setattr__(self, name: str, value: object) -> None:
         raise AttributeError("Affine is immutable")
@@ -92,7 +146,7 @@ class Affine:
         return frozenset(self.coeffs)
 
     def coeff(self, symbol: str) -> Fraction:
-        return self.coeffs.get(symbol, Fraction(0))
+        return self.coeffs.get(symbol, _ZERO)
 
     def as_constant(self) -> Fraction:
         if not self.is_constant:
@@ -112,25 +166,35 @@ class Affine:
         o = Affine.lift(other)
         coeffs = dict(self.coeffs)
         for sym, c in o.coeffs.items():
-            coeffs[sym] = coeffs.get(sym, Fraction(0)) + c
-        return Affine(coeffs, self.const + o.const)
+            prev = coeffs.get(sym)
+            coeffs[sym] = c if prev is None else prev + c
+        return Affine._make(coeffs, self.const + o.const)
 
     __radd__ = __add__
 
     def __sub__(self, other: AffineLike) -> "Affine":
-        return self + (Affine.lift(other) * -1)
+        o = Affine.lift(other)
+        coeffs = dict(self.coeffs)
+        for sym, c in o.coeffs.items():
+            prev = coeffs.get(sym)
+            coeffs[sym] = -c if prev is None else prev - c
+        return Affine._make(coeffs, self.const - o.const)
 
     def __rsub__(self, other: AffineLike) -> "Affine":
         return Affine.lift(other) - self
 
     def __neg__(self) -> "Affine":
-        return self * -1
+        return Affine._make(
+            {s: -c for s, c in self.coeffs.items()}, -self.const
+        )
 
     def __mul__(self, other: AffineLike) -> "Affine":
         o = Affine.lift(other)
         if o.is_constant:
             k = o.const
-            return Affine({s: c * k for s, c in self.coeffs.items()}, self.const * k)
+            return Affine._make(
+                {s: c * k for s, c in self.coeffs.items()}, self.const * k
+            )
         if self.is_constant:
             return o * self.const
         raise SymbolicError(f"non-affine product: ({self}) * ({o})")
@@ -178,11 +242,18 @@ class Affine:
     # comparison / display
     # ------------------------------------------------------------------
     def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
+        # type(self) rather than the module-global class name: weak-cache
+        # removal callbacks can run during interpreter teardown, after
+        # globals are cleared.
+        if isinstance(other, type(self)):
+            # Interning makes structural equality identity for
+            # constructor-built instances; the walk stays as a safety net.
+            return self.coeffs == other.coeffs and self.const == other.const
         if isinstance(other, (int, Fraction)):
-            other = Affine.constant(other)
-        if not isinstance(other, Affine):
-            return NotImplemented
-        return self.coeffs == other.coeffs and self.const == other.const
+            return self.is_constant and self.const == other
+        return NotImplemented
 
     def __hash__(self) -> int:
         return self._hash

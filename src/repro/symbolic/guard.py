@@ -8,25 +8,55 @@ canonical form ``expr >= 0``; a :class:`Guard` is a finite conjunction.
 Feasibility (used by the optional guard-pruning optimisation pass) reduces
 to rational Fourier-Motzkin over the guard's free symbols; callers supply
 standing *assumptions* such as ``n >= 1``.
+
+Both classes are hash-consed (see :mod:`repro.symbolic.intern`): a guard's
+intern key is its order-preserving constraint tuple, so printing order is
+stable, and the expensive queries (:meth:`Guard.feasible`,
+:meth:`Guard.implies`, :meth:`Guard.simplify`) are memoized on the one
+canonical instance -- the explorer asks the same questions about the same
+guards across hundreds of candidate designs.
 """
 
 from __future__ import annotations
 
 from fractions import Fraction
 from typing import Iterable, Mapping, Sequence
+from weakref import WeakValueDictionary
 
 from repro.geometry.polyhedron import LinearConstraint, fourier_motzkin_feasible
 from repro.symbolic.affine import Affine, AffineLike, Numeric
+from repro.symbolic.intern import counter
 from repro.util.errors import GuardError
+
+_MISSING = object()
+
+_FEASIBLE_STATS = counter("guard_feasible_memo")
+_IMPLIES_STATS = counter("guard_implies_memo")
+_SIMPLIFY_STATS = counter("guard_simplify_memo")
+_CFN_STATS = counter("guard_compiled_cache")
 
 
 class Constraint:
     """The inequality ``expr >= 0`` for an affine ``expr``."""
 
-    __slots__ = ("expr",)
+    __slots__ = ("expr", "_hash", "__weakref__")
 
-    def __init__(self, expr: AffineLike) -> None:
-        object.__setattr__(self, "expr", Affine.lift(expr))
+    _intern: "WeakValueDictionary[Affine, Constraint]" = WeakValueDictionary()
+    _stats = counter("constraint_intern")
+
+    def __new__(cls, expr: AffineLike) -> "Constraint":
+        e = Affine.lift(expr)
+        stats = cls._stats
+        self = cls._intern.get(e)
+        if self is not None:
+            stats.hits += 1
+            return self
+        stats.misses += 1
+        self = object.__new__(cls)
+        object.__setattr__(self, "expr", e)
+        object.__setattr__(self, "_hash", hash(("Constraint", e)))
+        cls._intern[e] = self
+        return self
 
     def __setattr__(self, name: str, value: object) -> None:
         raise AttributeError("Constraint is immutable")
@@ -74,10 +104,13 @@ class Constraint:
         )
 
     def __eq__(self, other: object) -> bool:
-        return isinstance(other, Constraint) and self.expr == other.expr
+        if self is other:
+            return True
+        # type(self), not the global name: see Affine.__eq__ (teardown).
+        return isinstance(other, type(self)) and self.expr == other.expr
 
     def __hash__(self) -> int:
-        return hash(("Constraint", self.expr))
+        return self._hash
 
     def __str__(self) -> str:
         return f"{self.expr} >= 0"
@@ -89,19 +122,37 @@ class Constraint:
 class Guard:
     """A conjunction of constraints; ``Guard.TRUE`` is the empty conjunction."""
 
-    __slots__ = ("constraints",)
+    __slots__ = ("constraints", "_hash", "_memo", "_cfn", "__weakref__")
 
     TRUE: "Guard"
 
-    def __init__(self, constraints: Iterable[Constraint] = ()) -> None:
-        # Deduplicate while preserving insertion order (stable printing).
+    _intern: "WeakValueDictionary[tuple, Guard]" = WeakValueDictionary()
+    _stats = counter("guard_intern")
+
+    def __new__(cls, constraints: Iterable[Constraint] = ()) -> "Guard":
+        # Deduplicate while preserving insertion order (stable printing); the
+        # intern key is the ordered tuple so rendering never changes under
+        # hash-consing even though __eq__ is order-insensitive.
         seen: dict[Constraint, None] = {}
         for c in constraints:
             if not isinstance(c, Constraint):
                 raise GuardError(f"expected Constraint, got {c!r}")
             if not c.is_trivially_true:
                 seen.setdefault(c, None)
-        object.__setattr__(self, "constraints", tuple(seen))
+        key = tuple(seen)
+        stats = cls._stats
+        self = cls._intern.get(key)
+        if self is not None:
+            stats.hits += 1
+            return self
+        stats.misses += 1
+        self = object.__new__(cls)
+        object.__setattr__(self, "constraints", key)
+        object.__setattr__(self, "_hash", hash(("Guard", frozenset(key))))
+        object.__setattr__(self, "_memo", {})
+        object.__setattr__(self, "_cfn", None)
+        cls._intern[key] = self
+        return self
 
     def __setattr__(self, name: str, value: object) -> None:
         raise AttributeError("Guard is immutable")
@@ -135,7 +186,16 @@ class Guard:
         return out
 
     def evaluate(self, env: Mapping[str, Numeric]) -> bool:
-        return all(c.evaluate(env) for c in self.constraints)
+        fn = self._cfn
+        if fn is None:
+            from repro.symbolic.compile import compile_guard
+
+            fn = compile_guard(self)
+            object.__setattr__(self, "_cfn", fn)
+            _CFN_STATS.misses += 1
+        else:
+            _CFN_STATS.hits += 1
+        return fn(env)
 
     def subs(self, mapping: Mapping[str, AffineLike]) -> "Guard":
         return Guard(c.subs(mapping) for c in self.constraints)
@@ -146,12 +206,21 @@ class Guard:
         Sound for pruning: an infeasible guard can never hold for any
         integral assignment either.
         """
+        key = (1, assumptions)
+        found = self._memo.get(key, _MISSING)
+        if found is not _MISSING:
+            _FEASIBLE_STATS.hits += 1
+            return found
+        _FEASIBLE_STATS.misses += 1
         combined = self if assumptions is None else self.and_(assumptions)
         if combined.is_trivially_false:
-            return False
-        symbols = sorted(combined.free_symbols)
-        linear = [c.to_linear(symbols) for c in combined.constraints]
-        return fourier_motzkin_feasible(linear, len(symbols))
+            result = False
+        else:
+            symbols = sorted(combined.free_symbols)
+            linear = [c.to_linear(symbols) for c in combined.constraints]
+            result = fourier_motzkin_feasible(linear, len(symbols))
+        self._memo[key] = result
+        return result
 
     def implies(self, other: "Guard | Constraint", assumptions: "Guard | None" = None) -> bool:
         """Sound implication test: ``self => other`` under the assumptions.
@@ -165,10 +234,17 @@ class Guard:
         we scale to integer coefficients first, making the test exact for
         integer points.
         """
+        key = (2, other, assumptions)
+        found = self._memo.get(key, _MISSING)
+        if found is not _MISSING:
+            _IMPLIES_STATS.hits += 1
+            return found
+        _IMPLIES_STATS.misses += 1
         if isinstance(other, Constraint):
             others: tuple[Constraint, ...] = (other,)
         else:
             others = other.constraints
+        result = True
         for c in others:
             scaled = _scale_to_integer(c.expr)
             negation = Constraint(-scaled - 1)  # scaled <= -1, integer-exact
@@ -176,8 +252,10 @@ class Guard:
             if assumptions is not None:
                 test = test.and_(assumptions)
             if test.feasible():
-                return False
-        return True
+                result = False
+                break
+        self._memo[key] = result
+        return result
 
     def simplify(self, assumptions: "Guard | None" = None) -> "Guard":
         """Drop constraints already implied by the standing assumptions.
@@ -188,16 +266,28 @@ class Guard:
         """
         if assumptions is None or assumptions.is_true:
             return self
+        key = (3, assumptions)
+        found = self._memo.get(key, _MISSING)
+        if found is not _MISSING:
+            _SIMPLIFY_STATS.hits += 1
+            return found
+        _SIMPLIFY_STATS.misses += 1
         kept = [
             c for c in self.constraints if not assumptions.implies(c)
         ]
-        return Guard(kept)
+        result = Guard(kept)
+        self._memo[key] = result
+        return result
 
     def __eq__(self, other: object) -> bool:
-        return isinstance(other, Guard) and set(self.constraints) == set(other.constraints)
+        if self is other:
+            return True
+        return isinstance(other, type(self)) and set(self.constraints) == set(
+            other.constraints
+        )
 
     def __hash__(self) -> int:
-        return hash(("Guard", frozenset(self.constraints)))
+        return self._hash
 
     def __str__(self) -> str:
         if self.is_true:

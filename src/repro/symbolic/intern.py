@@ -1,0 +1,58 @@
+"""Hash-consing support: per-class intern caches and hit/miss counters.
+
+Every symbolic class (:class:`Affine`, :class:`Constraint`, :class:`Guard`,
+:class:`Case`, :class:`Piecewise`) interns its instances in a per-class
+:class:`weakref.WeakValueDictionary` keyed by the structural content, so
+structurally equal expressions built through the public constructors are
+*pointer-equal*.  That makes ``__eq__`` an identity check in the common
+case, lets per-instance ``_memo`` dicts act as cross-design caches (the
+explorer rebuilds the same ``step``/``place`` row forms hundreds of times),
+and keeps compiled evaluators attached to the one canonical instance.
+
+This module only holds the shared counter plumbing; the caches themselves
+live on the classes (a ``WeakValueDictionary`` drops entries as soon as the
+last external reference dies, so interning never pins memory).
+"""
+
+from __future__ import annotations
+
+from repro import profiling
+
+__all__ = ["Counter", "counter", "stats_snapshot"]
+
+
+class Counter:
+    """A hit/miss pair cheap enough for the construction hot path."""
+
+    __slots__ = ("hits", "misses")
+
+    def __init__(self) -> None:
+        self.hits = 0
+        self.misses = 0
+
+    def reset(self) -> None:
+        self.hits = 0
+        self.misses = 0
+
+
+_counters: dict[str, Counter] = {}
+
+
+def counter(name: str) -> Counter:
+    """The named counter, created on first use (one per class or memo)."""
+    try:
+        return _counters[name]
+    except KeyError:
+        c = _counters[name] = Counter()
+        return c
+
+
+def stats_snapshot() -> dict[str, int]:
+    out: dict[str, int] = {}
+    for name, c in sorted(_counters.items()):
+        out[f"{name}_hits"] = c.hits
+        out[f"{name}_misses"] = c.misses
+    return out
+
+
+profiling.register("symbolic", stats_snapshot)

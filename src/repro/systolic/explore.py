@@ -129,7 +129,21 @@ def cost_of_compiled(sp, env: Mapping[str, Numeric]) -> DesignCost:
     size -- compilation dominates, so this is the batching win.
     """
     space = sp.process_space(env)
-    compute = sum(1 for y in space if sp.in_computation_space(y, env))
+    first = sp.first
+    if not first.has_default:
+        compute = space.size  # 'first' total on PS: CS = PS
+    else:
+        # One shared binding dict mutated per point (instead of a fresh
+        # dict(env) copy each), driving the compiled any-case closure.
+        binding = dict(env)
+        coords = sp.coords
+        any_case = first.any_case_holds
+        compute = 0
+        for y in space:
+            for name, c in zip(coords, y):
+                binding[name] = c
+            if any_case(binding):
+                compute += 1
     io_total = 0
     latches = 0
     stationary = 0

@@ -18,12 +18,28 @@ from fractions import Fraction
 from repro.geometry.point import Point
 from repro.lang.program import SourceProgram
 from repro.lang.stream import Stream
+from repro.symbolic.intern import counter
 from repro.systolic.spec import SystolicArray
 from repro.util.errors import RequirementViolation, SystolicSpecError
+
+# Local cross-design cache: every sweep candidate shares `step` and the
+# stream index maps, so the flow of a stream only depends on the key below.
+# (A plain dict here, not core.memo's MEMO: systolic.flow loads before the
+# core package and must not import it.)  Failures are never cached -- an
+# inconsistent design raises afresh each time.
+_flow_cache: dict[tuple, Point] = {}
+_FLOW_STATS = counter("flow_memo")
+_FLOW_CACHE_LIMIT = 4096
 
 
 def stream_flow(array: SystolicArray, stream: Stream) -> Point:
     """``flow.s`` as an exact rational vector in ``Q^{r-1}``."""
+    key = (array.step.rows, array.place.rows, stream.index_map.rows)
+    flow = _flow_cache.get(key)
+    if flow is not None:
+        _FLOW_STATS.hits += 1
+        return flow
+    _FLOW_STATS.misses += 1
     d = stream.null_direction()
     denominator = array.step.apply_point(d)[0]
     if denominator == 0:
@@ -33,6 +49,9 @@ def stream_flow(array: SystolicArray, stream: Stream) -> Point:
         )
     numerator = array.place_of(d)
     flow = numerator / denominator
+    if len(_flow_cache) >= _FLOW_CACHE_LIMIT:
+        _flow_cache.clear()
+    _flow_cache[key] = flow
     return flow
 
 

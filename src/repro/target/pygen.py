@@ -40,12 +40,23 @@ from repro.core.program import SystolicProgram
 from repro.lang.expr import Affine, BinOp, Body, Const, IndexExpr, StreamRead
 from repro.lang.interpreter import initial_state
 from repro.symbolic.affine import AffineVec
+from repro.symbolic.compile import guard_chain_lines, render_affine, render_guard
 from repro.symbolic.piecewise import Piecewise
 from repro.util.errors import CompilationError
 
 
+def _no_match_line(pad: str) -> str:
+    return f"{pad}raise ValueError('no alternative holds for %r' % (env,))"
+
+
 class _PyRenderer:
-    """Symbolic layer -> flat Python source, tracking the Fraction need."""
+    """Symbolic layer -> flat Python source, tracking the Fraction need.
+
+    The affine/guard/guard-chain lowering itself is the shared
+    implementation in :mod:`repro.symbolic.compile`; this class only
+    supplies the numeral renderer (which tracks whether the emitted module
+    needs ``Fraction``) and the statement-level glue.
+    """
 
     def __init__(self) -> None:
         self.needs_fraction = False
@@ -59,32 +70,10 @@ class _PyRenderer:
         return f"_Fr({f.numerator}, {f.denominator})"
 
     def affine(self, a: Affine) -> str:
-        terms: list[tuple[Fraction, str | None]] = [
-            (a.coeffs[sym], f"env[{sym!r}]") for sym in sorted(a.coeffs)
-        ]
-        if a.const != 0 or not terms:
-            terms.append((Fraction(a.const), None))
-        parts: list[str] = []
-        for c, sym in terms:
-            mag = abs(c)
-            if sym is None:
-                txt = self.num(mag)
-            elif mag == 1:
-                txt = sym
-            else:
-                txt = f"{self.num(mag)}*{sym}"
-            if not parts:
-                parts.append(txt if c >= 0 else f"-{txt}")
-            else:
-                parts.append(("+ " if c >= 0 else "- ") + txt)
-        return " ".join(parts)
+        return render_affine(a, self.num)
 
     def guard(self, guard) -> str:
-        if guard.is_true:
-            return "True"
-        return " and ".join(
-            f"({self.affine(c.expr)}) >= 0" for c in guard.constraints
-        )
+        return render_guard(guard, self.num)
 
     # ------------------------------------------------------------------
     def scalar_leaf(self, value) -> str:
@@ -103,28 +92,10 @@ class _PyRenderer:
 
     def piecewise_fn(self, name: str, pw: Piecewise, leaf) -> list[str]:
         lines = [f"def {name}(env):"]
-        lines.extend(self._piecewise_body(pw, leaf, 1))
+        lines.extend(
+            guard_chain_lines(pw, leaf, self.guard, _no_match_line, depth=1)
+        )
         return lines
-
-    def _piecewise_body(self, pw: Piecewise, leaf, depth: int) -> list[str]:
-        pad = "    " * depth
-        out: list[str] = []
-        for case in pw.cases:
-            out.append(f"{pad}if {self.guard(case.guard)}:")
-            if isinstance(case.value, Piecewise):
-                out.extend(self._piecewise_body(case.value, leaf, depth + 1))
-            else:
-                out.append(f"{pad}    return {leaf(case.value)}")
-        if pw.has_default:
-            if isinstance(pw.default, Piecewise):
-                out.extend(self._piecewise_body(pw.default, leaf, depth))
-            else:
-                out.append(f"{pad}return {leaf(pw.default)}")
-        else:
-            out.append(
-                f"{pad}raise ValueError('no alternative holds for %r' % (env,))"
-            )
-        return out
 
     # ------------------------------------------------------------------
     def expr(self, e) -> str:

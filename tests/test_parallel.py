@@ -1,6 +1,7 @@
 """Tests for the parallel/batched design-space sweep layer."""
 
 import pickle
+import warnings
 
 import pytest
 
@@ -129,26 +130,75 @@ class TestSweepDesigns:
 
 
 class TestParallelMatchesSerial:
-    """`--jobs N` must produce the same ranked table as serial, any N."""
+    """`--jobs N` must produce the same ranked table as serial, any N.
+
+    These run with a real pool: ``force_pool=True`` bypasses the 1-CPU
+    serial fallback so the cross-process path is exercised even on
+    single-core machines (where the fallback would otherwise kick in).
+    """
 
     def test_polyprod_jobs2(self):
         prog = polynomial_product_program()
         serial = explore_designs(prog, POLY_STEP, {"n": 3}, bound=1)
-        parallel = explore_designs_parallel(
-            prog, POLY_STEP, {"n": 3}, bound=1, jobs=2
-        )
+        parallel = sweep_designs(
+            prog, POLY_STEP, [{"n": 3}], bound=1, jobs=2, force_pool=True
+        ).costs_at({"n": 3})
         assert parallel == serial
 
     def test_explore_designs_jobs_kwarg(self):
         prog = polynomial_product_program()
         serial = explore_designs(prog, POLY_STEP, {"n": 3}, bound=1)
-        assert explore_designs(prog, POLY_STEP, {"n": 3}, bound=1, jobs=2) == serial
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", RuntimeWarning)
+            assert explore_designs(
+                prog, POLY_STEP, {"n": 3}, bound=1, jobs=2
+            ) == serial
 
     def test_parallel_sweep_multi_size(self):
         prog = polynomial_product_program()
         serial = sweep_designs(prog, POLY_STEP, [{"n": 2}, {"n": 4}], bound=1)
         parallel = sweep_designs(
-            prog, POLY_STEP, [{"n": 2}, {"n": 4}], bound=1, jobs=2
+            prog, POLY_STEP, [{"n": 2}, {"n": 4}], bound=1, jobs=2,
+            force_pool=True,
         )
         assert parallel.by_size == serial.by_size
         assert parallel.timings.jobs == 2
+
+
+class TestSerialFallback:
+    """Degenerate parallelism must not pay pool overhead silently."""
+
+    def test_single_cpu_falls_back_with_warning(self, monkeypatch):
+        import repro.parallel as par
+
+        monkeypatch.setattr(par.os, "cpu_count", lambda: 1)
+        prog = polynomial_product_program()
+        with pytest.warns(RuntimeWarning, match="only 1 CPU"):
+            result = sweep_designs(prog, POLY_STEP, [{"n": 3}], bound=1, jobs=2)
+        assert result.timings.jobs == 1
+        assert result.costs_at({"n": 3}) == explore_designs(
+            prog, POLY_STEP, {"n": 3}, bound=1
+        )
+
+    def test_force_pool_overrides_single_cpu(self, monkeypatch):
+        import repro.parallel as par
+
+        monkeypatch.setattr(par.os, "cpu_count", lambda: 1)
+        prog = polynomial_product_program()
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", RuntimeWarning)
+            result = sweep_designs(
+                prog, POLY_STEP, [{"n": 3}], bound=1, jobs=2, force_pool=True
+            )
+        assert result.timings.jobs == 2
+
+    def test_jobs_clamped_to_candidate_count(self, monkeypatch):
+        import repro.parallel as par
+
+        monkeypatch.setattr(par.os, "cpu_count", lambda: 64)
+        prog = polynomial_product_program()
+        tasks = candidate_tasks(prog, POLY_STEP, bound=1)
+        result = sweep_designs(
+            prog, POLY_STEP, [{"n": 3}], bound=1, jobs=len(tasks) + 50
+        )
+        assert result.timings.jobs <= len(tasks)

@@ -8,22 +8,32 @@ Writes ``BENCH_explore.json`` at the repository root:
   worker pool at each requested job count: per-stage timings
   (synthesis / compile+cost / total), parallel speedup, and an
   order-stability verdict (the parallel ranked table must equal the serial
-  one exactly).
+  one exactly).  Since the single-CPU fallback landed, the recorded
+  ``effective_jobs`` shows whether the pool actually ran or the sweep fell
+  back to the serial path (1-CPU containers).
 * ``multi_size_sweep`` -- the same space costed at several sizes: one full
   exploration per size (recompiling every design each time, what a naive
   caller does) vs one batched sweep that compiles each design once and
   evaluates its closed forms at every size.  The batching speedup is
   algorithmic, so it shows up even on a single core.
+* ``caches`` -- intern / compiled-form / memo hit counters from
+  ``repro.profiling`` (the attribution data behind the cost-stage speedup).
 * ``cpu_count`` -- recorded so parallel speedups can be interpreted: a
   1-CPU container cannot beat serial with process parallelism, a 4-core CI
   runner can.
 
 Usage:
     PYTHONPATH=src python tools/bench_explore.py [--quick] [--check] [-o OUT]
+    PYTHONPATH=src python tools/bench_explore.py --golden-only \\
+        --golden benchmarks/golden_explore_e2_n4.json
 
 ``--quick`` switches to the small polynomial-product space (CI smoke).
 ``--check`` exits non-zero unless every parallel table matches the serial
 one and the batched sweep beats per-size re-exploration.
+``--golden PATH`` additionally compares the serial ranked table against the
+committed golden table -- the correctness gate for all caching layers;
+``--write-golden`` refreshes that file, and ``--golden-only`` runs just the
+serial sweep + comparison (fast CI guard).
 """
 from __future__ import annotations
 
@@ -39,6 +49,7 @@ SRC = _ROOT / "src"
 if str(SRC) not in sys.path:
     sys.path.insert(0, str(SRC))
 
+from repro import profiling
 from repro.geometry.linalg import Matrix
 from repro.parallel import sweep_designs
 from repro.systolic.designs import (
@@ -47,10 +58,35 @@ from repro.systolic.designs import (
 )
 
 
-def _sweep(program, step, envs, jobs):
+def _sweep(program, step, envs, jobs, force_pool=False):
     t0 = time.perf_counter()
-    result = sweep_designs(program, step, envs, bound=1, jobs=jobs)
+    result = sweep_designs(
+        program, step, envs, bound=1, jobs=jobs, force_pool=force_pool
+    )
     return time.perf_counter() - t0, result
+
+
+def _golden_payload(space, n, table):
+    return {"space": space, "n": n, "table": [c.row() for c in table]}
+
+
+def _check_golden(path: pathlib.Path, space, n, table) -> bool:
+    golden = json.loads(path.read_text())
+    current = _golden_payload(space, n, table)
+    if golden == current:
+        print(f"golden table ok: {len(current['table'])} designs match {path}")
+        return True
+    print(f"FAIL: ranked table differs from golden {path}", file=sys.stderr)
+    for i, (want, got) in enumerate(zip(golden.get("table", []),
+                                        current["table"])):
+        if want != got:
+            print(f"  first differing row {i}:\n    golden  {want}\n"
+                  f"    current {got}", file=sys.stderr)
+            break
+    else:
+        print(f"  row count: golden {len(golden.get('table', []))} vs "
+              f"current {len(current['table'])}", file=sys.stderr)
+    return False
 
 
 def main(argv=None) -> int:
@@ -61,6 +97,12 @@ def main(argv=None) -> int:
                         help="fail on table mismatch or no batching win")
     parser.add_argument("--jobs", type=int, action="append", default=None,
                         help="job counts to measure (repeatable; default 2,4)")
+    parser.add_argument("--golden", default=None,
+                        help="golden ranked-table JSON to compare against")
+    parser.add_argument("--write-golden", action="store_true",
+                        help="(re)write the --golden file from this run")
+    parser.add_argument("--golden-only", action="store_true",
+                        help="serial sweep + golden comparison only")
     parser.add_argument("-o", "--output",
                         default=str(_ROOT / "BENCH_explore.json"))
     args = parser.parse_args(argv)
@@ -76,6 +118,7 @@ def main(argv=None) -> int:
         space = "E2: matmul step (1,1,1), place bound 1"
         explore_n, sweep_ns = 4, (3, 4)
     job_counts = args.jobs or [2, 4]
+    golden_path = pathlib.Path(args.golden) if args.golden else None
 
     # -- serial vs parallel on one size -----------------------------------
     env = {"n": explore_n}
@@ -85,22 +128,38 @@ def main(argv=None) -> int:
           f"({serial.timings.candidates} candidates, "
           f"{serial.timings.compiled} compilable)")
 
+    if golden_path is not None and args.write_golden:
+        golden_path.parent.mkdir(parents=True, exist_ok=True)
+        golden_path.write_text(json.dumps(
+            _golden_payload(space, explore_n, serial_table), indent=2) + "\n")
+        print(f"wrote golden table {golden_path}")
+
+    golden_ok = True
+    if golden_path is not None and not args.write_golden:
+        golden_ok = _check_golden(golden_path, space, explore_n, serial_table)
+
+    if args.golden_only:
+        return 0 if golden_ok else 1
+
     parallel_rows = []
     tables_match = True
     for jobs in job_counts:
         par_s, par = _sweep(program, step, [env], jobs=jobs)
         matches = par.costs_at(env) == serial_table
         tables_match &= matches
+        effective = par.timings.jobs
         parallel_rows.append({
             "jobs": jobs,
+            "effective_jobs": effective,
             "timings": par.timings.row(),
             "total_s": round(par_s, 6),
             "speedup_vs_serial": round(serial_s / par_s, 2),
             "table_matches_serial": matches,
         })
+        note = "" if effective == jobs else f"  (fell back to {effective})"
         print(f"  jobs={jobs}: {par_s:.2f}s  "
               f"{serial_s / par_s:4.2f}x  "
-              f"{'ok' if matches else 'TABLE MISMATCH'}")
+              f"{'ok' if matches else 'TABLE MISMATCH'}{note}")
 
     # -- per-size re-exploration vs one batched multi-size sweep ----------
     sweep_envs = [{"n": n} for n in sweep_ns]
@@ -142,14 +201,16 @@ def main(argv=None) -> int:
             "speedup": round(sweep_speedup, 2),
             "tables_match": batched_match,
         },
+        "caches": profiling.snapshot(),
     }
     out = pathlib.Path(args.output)
     out.write_text(json.dumps(report, indent=2) + "\n")
     print(f"wrote {out}")
 
     if args.check:
-        if not tables_match or not batched_match:
-            print("FAIL: parallel/batched table mismatch", file=sys.stderr)
+        if not tables_match or not batched_match or not golden_ok:
+            print("FAIL: parallel/batched/golden table mismatch",
+                  file=sys.stderr)
             return 1
         if sweep_speedup <= 1.2:
             print(f"FAIL: batched sweep speedup {sweep_speedup:.2f}x <= 1.2x",
