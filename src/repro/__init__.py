@@ -33,6 +33,7 @@ Quickstart::
 
 from repro.core.program import StreamPlan, SystolicProgram
 from repro.core.scheme import compile_systolic
+from repro.fuzz import FuzzInstance, FuzzSummary, fuzz_run, generate_instance
 from repro.lang.interpreter import run_sequential
 from repro.lang.parser import parse_affine, parse_program
 from repro.lang.program import Loop, SourceProgram
@@ -65,6 +66,10 @@ __all__ = [
     "StreamPlan",
     "SystolicProgram",
     "compile_systolic",
+    "FuzzInstance",
+    "FuzzSummary",
+    "fuzz_run",
+    "generate_instance",
     "run_sequential",
     "parse_affine",
     "parse_program",

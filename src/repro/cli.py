@@ -9,7 +9,10 @@ Subcommands
                 against the sequential oracle;
 ``synthesize``  derive step/place candidates from the dependences and print
                 the design space;
-``designs``     list the built-in catalogue.
+``designs``     list the built-in catalogue;
+``fuzz``        differential conformance fuzzing: random programs + designs
+                through oracle / simulator / compiled backend / enumerative
+                cross-check, with shrinking of any failure.
 
 A *design spec* is a JSON file::
 
@@ -189,6 +192,48 @@ def cmd_explore(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_fuzz(args: argparse.Namespace) -> int:
+    from repro.fuzz import HarnessConfig, fuzz_run
+    from repro.parallel import resolve_jobs
+
+    config = HarnessConfig(seed=args.input_seed, mutate=args.mutate)
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always", RuntimeWarning)
+        summary = fuzz_run(
+            seed=args.seed,
+            iterations=args.iterations,
+            time_budget=args.time_budget,
+            jobs=args.jobs,
+            config=config,
+            shrink=not args.no_shrink,
+            max_shrink_steps=args.max_shrink_steps,
+            corpus_dir=args.corpus_dir,
+            log=lambda message: print(message, file=sys.stderr),
+        )
+    requested = resolve_jobs(args.jobs)
+    if summary.jobs < requested:
+        reason = "; ".join(str(w.message) for w in caught) or "few iterations"
+        print(
+            f"note: --jobs {requested} reduced to {summary.jobs} ({reason})",
+            file=sys.stderr,
+        )
+    print(summary)
+    if summary.check_counts:
+        counts = ", ".join(
+            f"{name} x{count}"
+            for name, count in sorted(summary.check_counts.items())
+        )
+        print(f"checks: {counts}")
+    for failure in summary.failures:
+        print(f"FAILURE at iteration {failure.iteration} "
+              f"(instance seed {failure.instance_seed}): {failure.checks}")
+        for message in failure.messages[:4]:
+            print(f"  {message}")
+        if failure.reproducer:
+            print(f"  minimized reproducer: {failure.reproducer}")
+    return 0 if summary.ok else 1
+
+
 def cmd_designs(args: argparse.Namespace) -> int:
     from repro.systolic.designs import all_paper_designs
 
@@ -257,6 +302,45 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker processes (0 = one per CPU, default 1 = serial)",
     )
     p.set_defaults(func=cmd_explore)
+
+    p = sub.add_parser(
+        "fuzz", help="differential conformance fuzzing with shrinking"
+    )
+    p.add_argument("--seed", type=int, default=0, help="campaign base seed")
+    p.add_argument("--iterations", type=int, default=100)
+    p.add_argument(
+        "--time-budget",
+        type=float,
+        default=None,
+        help="stop after this many seconds (checked between batches)",
+    )
+    p.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes (0 = one per CPU, default 1 = serial)",
+    )
+    p.add_argument(
+        "--input-seed", type=int, default=0, help="stream input value seed"
+    )
+    from repro.fuzz.harness import MUTATIONS
+
+    p.add_argument(
+        "--mutate",
+        choices=sorted(MUTATIONS),
+        default=None,
+        help="plant a known bug (harness self-test; the run must fail)",
+    )
+    p.add_argument(
+        "--no-shrink", action="store_true", help="skip minimizing failures"
+    )
+    p.add_argument("--max-shrink-steps", type=int, default=96)
+    p.add_argument(
+        "--corpus-dir",
+        default="tests/fuzz_corpus",
+        help="where minimized reproducers are written",
+    )
+    p.set_defaults(func=cmd_fuzz)
 
     p = sub.add_parser("designs", help="list the built-in catalogue")
     p.set_defaults(func=cmd_designs)

@@ -1,0 +1,70 @@
+"""Differential conformance fuzzing.
+
+The scheme's whole value is that every derived quantity (repeaters, i/o
+endpoints, soak/drain, buffers) is *exact* -- and after several rounds of
+aggressive caching (interning, cross-design memoization, compiled guard
+closures, render caches) the realistic risk is a cache layer silently
+diverging on a program shape nobody hand-wrote.  This package generates
+those shapes:
+
+* :mod:`repro.fuzz.generator` -- seeded random *valid* source programs
+  (perfect r-in-{2,3} loop nests, affine bounds, rank-(r-1) constant-free
+  index maps, randomized guarded bodies) plus consistent ``step``/``place``
+  designs drawn from the bounded synthesis space;
+* :mod:`repro.fuzz.harness` -- a differential harness that runs each
+  instance through the sequential oracle, the coroutine simulator, the
+  compiled Python backend and the enumerative cross-check, and asserts
+  metamorphic invariants (memo on/off, pickled re-interning, render-cache
+  hit vs miss, repeated execution, optionally pool-vs-serial sweeps,
+  threaded engine and channel capacities);
+* :mod:`repro.fuzz.shrink` -- a greedy shrinker that minimizes failing
+  instances (drop loops, shrink bounds and sizes, drop branches/streams,
+  simplify expressions) and writes deterministic reproducers;
+* :mod:`repro.fuzz.corpus` -- JSON (de)serialization of instances and the
+  ``tests/fuzz_corpus/`` reproducer format;
+* :mod:`repro.fuzz.driver` -- the ``repro fuzz`` campaign loop (seeds,
+  iteration/time budgets, worker pool fan-out, shrinking, summaries).
+"""
+
+from repro.fuzz.corpus import (
+    instance_from_json,
+    instance_to_json,
+    load_reproducer,
+    write_reproducer,
+)
+from repro.fuzz.driver import FuzzSummary, fuzz_run
+from repro.fuzz.generator import (
+    FuzzInstance,
+    generate_design,
+    generate_instance,
+    generate_program,
+)
+from repro.fuzz.harness import (
+    MUTATIONS,
+    CheckFailure,
+    HarnessConfig,
+    InstanceReport,
+    apply_mutation,
+    run_instance,
+)
+from repro.fuzz.shrink import shrink_instance
+
+__all__ = [
+    "CheckFailure",
+    "FuzzInstance",
+    "FuzzSummary",
+    "HarnessConfig",
+    "InstanceReport",
+    "MUTATIONS",
+    "apply_mutation",
+    "fuzz_run",
+    "generate_design",
+    "generate_instance",
+    "generate_program",
+    "instance_from_json",
+    "instance_to_json",
+    "load_reproducer",
+    "run_instance",
+    "shrink_instance",
+    "write_reproducer",
+]

@@ -1,0 +1,133 @@
+"""Reproducer (de)serialization: the ``tests/fuzz_corpus/`` format.
+
+A reproducer is a single JSON document holding everything needed to replay
+one instance deterministically:
+
+* ``source`` -- the program in concrete syntax (``SourceProgram.to_source``
+  round-trips through :func:`repro.lang.parser.parse_program`);
+* ``design`` -- exact ``step``/``place`` rows and loading vectors, the same
+  shape the ``repro compile`` design-spec files use;
+* ``env`` -- the concrete problem-size binding;
+* ``harness`` -- the harness knobs the failure was observed under (input
+  seed, planted mutation, if any);
+* ``expect`` -- ``"pass"`` for checked-in regression pins (the bug the file
+  minimizes is fixed in-tree), ``"fail"`` for freshly minimized output.
+
+File names embed a content hash, so re-minimizing the same bug overwrites
+the same file instead of accumulating near-duplicates.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+
+from repro.geometry.linalg import Matrix
+from repro.geometry.point import Point
+from repro.lang.parser import parse_program
+from repro.systolic.spec import SystolicArray
+
+FORMAT_VERSION = 1
+
+#: default location of checked-in reproducers, relative to the repo root
+CORPUS_DIR = "tests/fuzz_corpus"
+
+
+def instance_to_json(instance) -> dict:
+    """A picklable/serializable snapshot of one instance."""
+    array = instance.array
+    return {
+        "format": FORMAT_VERSION,
+        "seed": instance.seed,
+        "source": instance.program.to_source(),
+        "design": {
+            "step": [list(r) for r in array.step.rows],
+            "place": [list(r) for r in array.place.rows],
+            "loading": {
+                name: [int(c) for c in vec]
+                for name, vec in sorted(array.loading_vectors.items())
+            },
+            "name": array.name,
+        },
+        "env": {k: int(v) for k, v in sorted(instance.env.items())},
+    }
+
+
+def instance_from_json(data: dict):
+    """Rebuild a :class:`~repro.fuzz.generator.FuzzInstance` from JSON."""
+    from repro.fuzz.generator import FuzzInstance
+
+    program = parse_program(data["source"])
+    design = data["design"]
+    array = SystolicArray(
+        step=Matrix([tuple(r) for r in design["step"]]),
+        place=Matrix([tuple(r) for r in design["place"]]),
+        loading_vectors={
+            name: Point(vec) for name, vec in (design.get("loading") or {}).items()
+        },
+        name=design.get("name", "corpus"),
+    )
+    env = {k: int(v) for k, v in data["env"].items()}
+    return FuzzInstance(
+        program=program, array=array, env=env, seed=int(data.get("seed", -1))
+    )
+
+
+def reproducer_name(data: dict, prefix: str = "minimized") -> str:
+    """Deterministic, content-addressed file name for a reproducer."""
+    canon = json.dumps(
+        {k: data[k] for k in ("source", "design", "env")}, sort_keys=True
+    )
+    digest = hashlib.sha256(canon.encode()).hexdigest()[:12]
+    return f"{prefix}_{digest}.json"
+
+
+def write_reproducer(
+    instance,
+    report,
+    corpus_dir,
+    *,
+    config=None,
+    prefix: str = "minimized",
+    expect: str = "fail",
+) -> Path:
+    """Serialize a (usually shrunk) failing instance; returns the path."""
+    data = instance_to_json(instance)
+    data["expect"] = expect
+    data["harness"] = {
+        "seed": 0 if config is None else config.seed,
+        "mutate": None if config is None else config.mutate,
+    }
+    if report is not None and report.failures:
+        data["failure"] = {
+            "checks": sorted({f.check for f in report.failures}),
+            "messages": [f"{f.check}: {f.message}" for f in report.failures[:4]],
+        }
+    root = Path(corpus_dir)
+    root.mkdir(parents=True, exist_ok=True)
+    path = root / reproducer_name(data, prefix)
+    path.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def load_reproducer(path):
+    """Read a reproducer file back: ``(instance, harness_config, raw dict)``."""
+    from repro.fuzz.harness import HarnessConfig
+
+    data = json.loads(Path(path).read_text())
+    if data.get("format") != FORMAT_VERSION:
+        raise ValueError(f"{path}: unsupported reproducer format {data.get('format')!r}")
+    harness = data.get("harness") or {}
+    config = HarnessConfig(
+        seed=int(harness.get("seed", 0)), mutate=harness.get("mutate")
+    )
+    return instance_from_json(data), config, data
+
+
+def corpus_files(corpus_dir) -> list[Path]:
+    """All reproducer files under a corpus directory, sorted by name."""
+    root = Path(corpus_dir)
+    if not root.is_dir():
+        return []
+    return sorted(root.glob("*.json"))

@@ -1,0 +1,244 @@
+"""The fuzz campaign driver behind ``repro fuzz``.
+
+Iterations are independent (iteration ``i`` of base seed ``S`` always
+fuzzes instance seed ``S * 1_000_003 + i``), so a campaign fans out over
+the shared process-pool helper (:func:`repro.parallel.pool_map`) exactly
+like a design sweep: workers generate + run the harness, the driver
+collects results in iteration order, then shrinks any failures serially
+(shrinking re-runs the harness many times and wants the warm caches of one
+process).  Results are byte-identical for every ``--jobs`` value.
+
+Expensive metamorphic checks are *sampled* on a deterministic schedule so
+a default campaign stays fast but still covers them: the threaded engine
+every 7th iteration, capacity invariance every 5th, the pool-vs-serial
+sweep comparison every 25th.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field, replace
+
+from repro.fuzz.corpus import instance_to_json, write_reproducer
+from repro.fuzz.generator import generate_instance
+from repro.fuzz.harness import HarnessConfig, run_instance
+from repro.fuzz.shrink import shrink_instance
+
+#: spreads base seeds far apart so campaigns never share instance seeds
+SEED_STRIDE = 1_000_003
+
+THREADED_EVERY = 7
+CAPACITY_EVERY = 5
+POOL_EVERY = 25
+
+
+@dataclass
+class FailureRecord:
+    """One failing iteration, before and after shrinking."""
+
+    iteration: int
+    instance_seed: int
+    checks: list[str]
+    messages: list[str]
+    original_json: dict
+    shrunk_json: dict | None = None
+    reproducer: str | None = None
+
+
+@dataclass
+class FuzzSummary:
+    """Campaign outcome: counts, failures, aggregated check timings."""
+
+    seed: int
+    iterations: int = 0
+    generated: int = 0
+    skipped: int = 0  # seeds outside the schedulable space
+    elapsed_s: float = 0.0
+    jobs: int = 1
+    stopped_early: bool = False  # time budget exhausted
+    check_counts: dict = field(default_factory=dict)
+    check_seconds: dict = field(default_factory=dict)
+    failures: list = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def row(self) -> dict:
+        return {
+            "seed": self.seed,
+            "iterations": self.iterations,
+            "generated": self.generated,
+            "skipped": self.skipped,
+            "failures": len(self.failures),
+            "elapsed_s": round(self.elapsed_s, 3),
+            "jobs": self.jobs,
+            "stopped_early": self.stopped_early,
+        }
+
+    def __str__(self) -> str:
+        status = "clean" if self.ok else f"{len(self.failures)} FAILURE(S)"
+        return (
+            f"fuzz seed {self.seed}: {status} over {self.generated} instances "
+            f"({self.iterations} iterations, {self.skipped} unschedulable, "
+            f"jobs {self.jobs}, {self.elapsed_s:.1f}s)"
+        )
+
+
+def iteration_config(base: HarnessConfig, iteration: int) -> HarnessConfig:
+    """The sampled per-iteration harness configuration."""
+    return replace(
+        base,
+        check_threaded=base.check_threaded
+        or iteration % THREADED_EVERY == THREADED_EVERY - 1,
+        check_capacity=base.check_capacity
+        or iteration % CAPACITY_EVERY == CAPACITY_EVERY - 1,
+        check_pool=base.check_pool or iteration % POOL_EVERY == POOL_EVERY - 1,
+    )
+
+
+# -- worker side -----------------------------------------------------------
+_WORKER: dict = {}
+
+
+def _init_fuzz_worker(base_seed: int, config: HarnessConfig) -> None:
+    _WORKER["base_seed"] = base_seed
+    _WORKER["config"] = config
+
+
+def _fuzz_task(iteration: int) -> dict:
+    """Generate + run one iteration; returns a picklable record."""
+    base_seed = _WORKER["base_seed"]
+    config = iteration_config(_WORKER["config"], iteration)
+    instance_seed = base_seed * SEED_STRIDE + iteration
+    instance = generate_instance(instance_seed)
+    if instance is None:
+        return {"iteration": iteration, "status": "skipped"}
+    report = run_instance(instance, config)
+    record = {
+        "iteration": iteration,
+        "status": "ok" if report.ok else "failed",
+        "instance_seed": instance_seed,
+        "checks_run": list(report.checks_run),
+        "timings": dict(report.timings),
+    }
+    if not report.ok:
+        record["checks"] = sorted(report.failed_checks)
+        record["messages"] = [str(f) for f in report.failures[:6]]
+        record["instance_json"] = instance_to_json(instance)
+    return record
+
+
+# -- driver side -----------------------------------------------------------
+def fuzz_run(
+    *,
+    seed: int = 0,
+    iterations: int = 100,
+    time_budget: float | None = None,
+    jobs: int | None = 1,
+    config: HarnessConfig | None = None,
+    shrink: bool = True,
+    max_shrink_steps: int = 96,
+    corpus_dir: str | None = None,
+    max_failures: int = 5,
+    log=None,
+) -> FuzzSummary:
+    """Run a fuzz campaign; returns the summary (never raises on findings).
+
+    ``time_budget`` (seconds) stops the campaign between batches once
+    exceeded.  At most ``max_failures`` failing iterations are shrunk and
+    written to ``corpus_dir`` (when given); the campaign also stops early
+    once that many failures have been collected.
+    """
+    from repro.parallel import pool_map
+
+    base_config = config or HarnessConfig()
+    summary = FuzzSummary(seed=seed)
+    t0 = time.perf_counter()
+
+    # Batches keep the pool busy while letting the driver honour the time
+    # budget and the failure cap between fan-outs.
+    batch_size = 10 if jobs in (None, 1) else max(10, resolve_batch(jobs))
+    next_iteration = 0
+    effective_jobs = 1
+    while next_iteration < iterations:
+        if time_budget is not None and time.perf_counter() - t0 > time_budget:
+            summary.stopped_early = True
+            break
+        if len(summary.failures) >= max_failures:
+            summary.stopped_early = True
+            break
+        batch = list(
+            range(next_iteration, min(iterations, next_iteration + batch_size))
+        )
+        next_iteration = batch[-1] + 1
+        records, effective_jobs = pool_map(
+            _fuzz_task,
+            batch,
+            jobs=jobs,
+            initializer=_init_fuzz_worker,
+            initargs=(seed, base_config),
+        )
+        for record in records:
+            summary.iterations += 1
+            if record["status"] == "skipped":
+                summary.skipped += 1
+                continue
+            summary.generated += 1
+            for name in record["checks_run"]:
+                summary.check_counts[name] = summary.check_counts.get(name, 0) + 1
+            for name, dt in record["timings"].items():
+                summary.check_seconds[name] = (
+                    summary.check_seconds.get(name, 0.0) + dt
+                )
+            if record["status"] == "failed":
+                summary.failures.append(
+                    FailureRecord(
+                        iteration=record["iteration"],
+                        instance_seed=record["instance_seed"],
+                        checks=record["checks"],
+                        messages=record["messages"],
+                        original_json=record["instance_json"],
+                    )
+                )
+                if log:
+                    log(
+                        f"iteration {record['iteration']}: FAILED "
+                        f"{record['checks']}"
+                    )
+    summary.jobs = effective_jobs
+
+    if shrink and summary.failures:
+        from repro.fuzz.corpus import instance_from_json
+
+        for failure in summary.failures:
+            iter_config = iteration_config(base_config, failure.iteration)
+            # Shrinking re-runs the cheap checks only: sampled extras are
+            # disabled so the minimized reproducer replays them cheaply.
+            shrink_config = replace(
+                iter_config,
+                check_threaded=False,
+                check_capacity=False,
+                check_pool=False,
+            )
+            instance = instance_from_json(failure.original_json)
+            shrunk, report = shrink_instance(
+                instance, shrink_config, max_steps=max_shrink_steps
+            )
+            failure.shrunk_json = instance_to_json(shrunk)
+            if corpus_dir is not None:
+                path = write_reproducer(
+                    shrunk, report, corpus_dir, config=shrink_config
+                )
+                failure.reproducer = str(path)
+                if log:
+                    log(f"iteration {failure.iteration}: minimized to {path}")
+
+    summary.elapsed_s = time.perf_counter() - t0
+    return summary
+
+
+def resolve_batch(jobs: int | None) -> int:
+    from repro.parallel import resolve_jobs
+
+    return 4 * resolve_jobs(jobs)

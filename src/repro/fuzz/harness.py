@@ -1,0 +1,348 @@
+"""The differential harness: one instance, every engine, every invariant.
+
+For a :class:`~repro.fuzz.generator.FuzzInstance` the harness
+
+1. compiles the design and runs the **sequential interpreter** (the ground
+   truth the paper verifies against);
+2. runs the **coroutine simulator** (:func:`repro.runtime.network.execute`)
+   and compares every element of every variable;
+3. runs the **compiled Python backend**
+   (:func:`repro.target.pygen.execute_python`) and compares likewise;
+4. runs the **enumerative cross-check**
+   (:func:`repro.verify.enumerative.cross_check`) of every symbolic closed
+   form against its brute-force definition;
+5. checks **metamorphic invariants** -- different paths through the cache
+   stack must be byte-/value-identical:
+
+   * compiling with ``REPRO_DISABLE_MEMO=1`` must render the identical
+     Python module (cross-design memo A/B);
+   * a pickle round-trip (what ``parallel.sweep_designs`` does to ship
+     work) must re-intern to the identical rendering and identical
+     :class:`~repro.systolic.explore.DesignCost`;
+   * a render-cache miss, the subsequent hit, and the uncached rendering
+     must agree byte-for-byte;
+   * executing the module twice (second run hits the module cache) must
+     be value-identical;
+   * optionally: the threaded engine, larger channel capacities, and a
+     real pool-vs-serial ``sweep_designs`` comparison (sampled by the
+     driver -- they dominate runtime).
+
+Failures are *recorded*, not raised: the shrinker needs to re-run the
+harness on mutated instances and compare failure kinds.
+
+Planted mutations (:data:`MUTATIONS`) corrupt one derived quantity of the
+compiled program -- e.g. every stream's drain count off by one -- to prove
+the harness actually catches the class of bug it exists for.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import tempfile
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field, replace
+
+from repro.core.program import SystolicProgram
+from repro.core.scheme import compile_systolic
+from repro.lang.interpreter import run_sequential
+from repro.runtime.network import execute
+from repro.symbolic.piecewise import Piecewise
+from repro.systolic.explore import cost_of_compiled
+from repro.target.pygen import execute_python, render_python, render_python_cached
+from repro.verify.enumerative import cross_check
+from repro.verify.equivalence import random_inputs
+
+
+# ----------------------------------------------------------------------
+# planted mutations
+# ----------------------------------------------------------------------
+def _bump(pw: Piecewise) -> Piecewise:
+    """Add one to every non-null scalar leaf of a piecewise quantity."""
+    return pw.map_values(lambda v: v if v is None else v + 1)
+
+
+def _mutate_plans(sp: SystolicProgram, fn) -> SystolicProgram:
+    return replace(sp, streams=tuple(fn(plan) for plan in sp.streams))
+
+
+def _drain_plus_one(sp: SystolicProgram) -> SystolicProgram:
+    return _mutate_plans(sp, lambda p: replace(p, drain=_bump(p.drain)))
+
+
+def _soak_plus_one(sp: SystolicProgram) -> SystolicProgram:
+    return _mutate_plans(sp, lambda p: replace(p, soak=_bump(p.soak)))
+
+
+def _count_plus_one(sp: SystolicProgram) -> SystolicProgram:
+    return replace(sp, count=_bump(sp.count))
+
+
+def _pass_plus_one(sp: SystolicProgram) -> SystolicProgram:
+    return _mutate_plans(sp, lambda p: replace(p, pass_amount=_bump(p.pass_amount)))
+
+
+#: name -> SystolicProgram transformer planting one specific bug
+MUTATIONS = {
+    "drain_plus_one": _drain_plus_one,
+    "soak_plus_one": _soak_plus_one,
+    "count_plus_one": _count_plus_one,
+    "pass_plus_one": _pass_plus_one,
+}
+
+
+def apply_mutation(sp: SystolicProgram, name: str | None) -> SystolicProgram:
+    """Plant the named bug into a compiled program (no-op for ``None``)."""
+    if name is None:
+        return sp
+    try:
+        fn = MUTATIONS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown mutation {name!r}; choose from {sorted(MUTATIONS)}"
+        ) from None
+    return fn(sp)
+
+
+# ----------------------------------------------------------------------
+# configuration and reports
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class HarnessConfig:
+    """Per-run harness knobs (picklable: travels to fuzz pool workers)."""
+
+    #: seed for the random input values
+    seed: int = 0
+    #: planted mutation name, or None for the honest tree
+    mutate: str | None = None
+    #: run the generated module's threads-plus-bounded-queues engine too
+    check_threaded: bool = False
+    #: re-run the simulator with channel capacity 3 (capacity invariance)
+    check_capacity: bool = False
+    #: full pool-vs-serial ``sweep_designs`` comparison (expensive)
+    check_pool: bool = False
+    #: mismatches quoted per failure
+    max_mismatches: int = 5
+
+
+@dataclass(frozen=True)
+class CheckFailure:
+    """One failed check: which detector fired and a bounded message."""
+
+    check: str
+    message: str
+
+    def __str__(self) -> str:
+        return f"[{self.check}] {self.message}"
+
+
+@dataclass
+class InstanceReport:
+    """Everything one harness run observed."""
+
+    instance: object
+    failures: list[CheckFailure] = field(default_factory=list)
+    checks_run: list[str] = field(default_factory=list)
+    #: per-check wall-clock seconds (for tools/bench_fuzz.py)
+    timings: dict = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    @property
+    def failed_checks(self) -> frozenset[str]:
+        return frozenset(f.check for f in self.failures)
+
+    def __str__(self) -> str:
+        status = "OK" if self.ok else "; ".join(str(f) for f in self.failures[:3])
+        return f"harness[{len(self.checks_run)} checks]: {status}"
+
+
+@contextmanager
+def _env_flag(name: str, value: str):
+    prior = os.environ.get(name)
+    os.environ[name] = value
+    try:
+        yield
+    finally:
+        if prior is None:
+            os.environ.pop(name, None)
+        else:
+            os.environ[name] = prior
+
+
+def _compare_state(oracle, got, *, tuple_keys: bool, limit: int) -> list[str]:
+    mismatches: list[str] = []
+    for var, expected in oracle.items():
+        got_var = got.get(var)
+        if got_var is None:
+            mismatches.append(f"{var}: variable missing from result")
+            continue
+        for element, value in expected.items():
+            key = tuple(int(c) for c in element) if tuple_keys else element
+            actual = got_var.get(key)
+            if actual != value:
+                mismatches.append(f"{var}{key}: got {actual}, oracle {value}")
+    if len(got) != len(oracle):
+        extra = sorted(set(got) - set(oracle))
+        if extra:
+            mismatches.append(f"unexpected variables {extra}")
+    return mismatches[:limit]
+
+
+# ----------------------------------------------------------------------
+# the harness
+# ----------------------------------------------------------------------
+def run_instance(instance, config: HarnessConfig | None = None) -> InstanceReport:
+    """Run every engine and invariant; never raises on a detected bug."""
+    config = config or HarnessConfig()
+    report = InstanceReport(instance=instance)
+    program, env = instance.program, instance.env
+
+    def checked(name: str, fn) -> object:
+        """Run one check, recording failures and wall-clock."""
+        report.checks_run.append(name)
+        t0 = time.perf_counter()
+        try:
+            return fn()
+        except Exception as exc:  # detectors raise freely; record, don't die
+            report.failures.append(
+                CheckFailure(name, f"{type(exc).__name__}: {exc}")
+            )
+            return None
+        finally:
+            report.timings[name] = (
+                report.timings.get(name, 0.0) + time.perf_counter() - t0
+            )
+
+    sp = checked("compile", lambda: compile_systolic(program, instance.array))
+    if sp is None:
+        return report
+    sp = apply_mutation(sp, config.mutate)
+
+    inputs = random_inputs(program, env, seed=config.seed)
+    oracle = checked("oracle", lambda: run_sequential(program, env, inputs))
+    if oracle is None:
+        return report
+
+    limit = config.max_mismatches
+
+    # -- engines ---------------------------------------------------------
+    def check_simulator():
+        final, _stats = execute(sp, env, inputs)
+        mism = _compare_state(oracle, final, tuple_keys=False, limit=limit)
+        if mism:
+            raise AssertionError("; ".join(mism))
+
+    checked("simulator", check_simulator)
+
+    pygen_result: dict = {}
+
+    def check_pygen():
+        got = execute_python(sp, env, inputs)
+        mism = _compare_state(oracle, got, tuple_keys=True, limit=limit)
+        if mism:
+            raise AssertionError("; ".join(mism))
+        pygen_result["final"] = got
+
+    checked("pygen", check_pygen)
+
+    def check_enumerative():
+        rep = cross_check(sp, env)
+        if not rep.ok:
+            raise AssertionError("; ".join(rep.errors[:limit]))
+
+    checked("cross_check", check_enumerative)
+
+    # -- metamorphic invariants -----------------------------------------
+    rendered = render_python(sp)
+
+    def check_memo_ab():
+        with _env_flag("REPRO_DISABLE_MEMO", "1"):
+            sp_cold = apply_mutation(
+                compile_systolic(program, instance.array), config.mutate
+            )
+        if render_python(sp_cold) != rendered:
+            raise AssertionError(
+                "rendered module differs with REPRO_DISABLE_MEMO=1"
+            )
+
+    checked("memo_ab", check_memo_ab)
+
+    def check_pickle_reintern():
+        sp2 = pickle.loads(pickle.dumps(sp))
+        if render_python(sp2) != rendered:
+            raise AssertionError("pickle round-trip changes the rendering")
+        if cost_of_compiled(sp2, env) != cost_of_compiled(sp, env):
+            raise AssertionError("pickle round-trip changes the design cost")
+
+    checked("pickle_reintern", check_pickle_reintern)
+
+    def check_render_cache():
+        with tempfile.TemporaryDirectory(prefix="repro-fuzz-cache-") as d:
+            miss = render_python_cached(sp, d)
+            hit = render_python_cached(sp, d)
+        if miss != rendered:
+            raise AssertionError("render-cache miss differs from direct render")
+        if hit != rendered:
+            raise AssertionError("render-cache hit differs from direct render")
+
+    checked("render_cache", check_render_cache)
+
+    def check_repeat_execution():
+        again = execute_python(sp, env, inputs)  # module-cache hit
+        if again != pygen_result.get("final", again):
+            raise AssertionError("repeated execution (module-cache hit) differs")
+
+    if "final" in pygen_result:
+        checked("repeat_execution", check_repeat_execution)
+
+    if config.check_threaded:
+
+        def check_threaded():
+            got = execute_python(sp, env, inputs, threaded=True)
+            mism = _compare_state(oracle, got, tuple_keys=True, limit=limit)
+            if mism:
+                raise AssertionError("; ".join(mism))
+
+        checked("threaded", check_threaded)
+
+    if config.check_capacity:
+
+        def check_capacity():
+            final, _stats = execute(sp, env, inputs, channel_capacity=3)
+            mism = _compare_state(oracle, final, tuple_keys=False, limit=limit)
+            if mism:
+                raise AssertionError("; ".join(mism))
+
+        checked("capacity", check_capacity)
+
+    if config.check_pool:
+
+        def check_pool():
+            from repro.parallel import sweep_designs
+
+            serial = sweep_designs(
+                program, instance.array.step, [env], bound=1, jobs=1
+            )
+            pooled = sweep_designs(
+                program,
+                instance.array.step,
+                [env],
+                bound=1,
+                jobs=2,
+                force_pool=True,
+            )
+            a = [c.row() for c in serial.by_size[0][1]]
+            b = [c.row() for c in pooled.by_size[0][1]]
+            if a != b:
+                raise AssertionError(
+                    f"pool sweep diverges from serial: {len(a)} vs {len(b)} "
+                    "rows or differing contents"
+                )
+
+        checked("pool_sweep", check_pool)
+
+    return report

@@ -49,6 +49,7 @@ from repro.systolic.schedule import candidate_tasks
 __all__ = [
     "SweepTimings",
     "SweepResult",
+    "pool_map",
     "resolve_jobs",
     "sweep_designs",
     "explore_designs_parallel",
@@ -127,6 +128,50 @@ def resolve_jobs(jobs: int | None) -> int:
     return jobs
 
 
+def pool_map(
+    task_fn,
+    tasks: Sequence,
+    *,
+    jobs: int | None = 1,
+    force_pool: bool = False,
+    initializer=None,
+    initargs: tuple = (),
+) -> tuple[list, int]:
+    """Map picklable tasks over a clamped process pool; the shared engine
+    behind :func:`sweep_designs` and ``repro fuzz``.
+
+    Returns ``(results in task order, effective worker count)``.  The
+    worker count is clamped to the task count, and the call falls back to
+    the serial path -- emitting a :class:`RuntimeWarning` -- when only one
+    CPU is available (``force_pool=True`` overrides, for measurements and
+    cross-process tests).  The serial path runs ``initializer`` in-process
+    and then applies ``task_fn`` directly, so results are identical for
+    every ``jobs`` value.
+    """
+    n_jobs = resolve_jobs(jobs)
+    pool_jobs = min(n_jobs, len(tasks)) if tasks else 1
+    if pool_jobs > 1 and not force_pool and (os.cpu_count() or 1) == 1:
+        warnings.warn(
+            f"requested jobs={n_jobs} but only 1 CPU is available; using "
+            "the serial path (pass force_pool=True to override)",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+        pool_jobs = 1
+    if pool_jobs > 1:
+        ctx = multiprocessing.get_context()
+        chunksize = max(1, len(tasks) // (pool_jobs * 4))
+        with ctx.Pool(
+            processes=pool_jobs,
+            initializer=initializer,
+            initargs=initargs,
+        ) as pool:
+            return pool.map(task_fn, tasks, chunksize=chunksize), pool_jobs
+    if initializer is not None:
+        initializer(*initargs)
+    return [task_fn(t) for t in tasks], pool_jobs
+
+
 def sweep_designs(
     program: SourceProgram,
     step: Matrix,
@@ -158,31 +203,14 @@ def sweep_designs(
     tasks = candidate_tasks(program, step, bound=bound)
     t_synth = time.perf_counter()
 
-    n_jobs = resolve_jobs(jobs)
-    pool_jobs = min(n_jobs, len(tasks)) if tasks else 1
-    if pool_jobs > 1 and not force_pool and (os.cpu_count() or 1) == 1:
-        warnings.warn(
-            f"sweep_designs: requested jobs={n_jobs} but only 1 CPU is "
-            "available; using the serial path (pass force_pool=True to "
-            "override)",
-            RuntimeWarning,
-            stacklevel=2,
-        )
-        pool_jobs = 1
-    if pool_jobs > 1:
-        ctx = multiprocessing.get_context()
-        chunksize = max(1, len(tasks) // (pool_jobs * 4))
-        with ctx.Pool(
-            processes=pool_jobs,
-            initializer=_init_worker,
-            initargs=(program, step.rows, size_envs, MEMO.export_state()),
-        ) as pool:
-            results = pool.map(_sweep_task, tasks, chunksize=chunksize)
-    else:
-        results = [
-            sweep_candidate(program, step, Matrix(rows), size_envs)
-            for rows in tasks
-        ]
+    results, pool_jobs = pool_map(
+        _sweep_task,
+        tasks,
+        jobs=jobs,
+        force_pool=force_pool,
+        initializer=_init_worker,
+        initargs=(program, step.rows, size_envs, MEMO.export_state()),
+    )
     t_cost = time.perf_counter()
 
     compiled = 0

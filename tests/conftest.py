@@ -1,0 +1,23 @@
+"""Shared pytest configuration: Hypothesis profiles.
+
+CI runs with ``--hypothesis-profile=ci`` (see ``.github/workflows/ci.yml``):
+derandomized, so every property suite draws the same examples on every run
+and a red build is always reproducible locally with the same flag.  The
+default profile keeps Hypothesis's random exploration for local runs.
+"""
+
+from __future__ import annotations
+
+try:
+    from hypothesis import settings
+except ImportError:  # property suites are skipped without hypothesis
+    settings = None
+
+if settings is not None:
+    settings.register_profile(
+        "ci",
+        derandomize=True,
+        deadline=None,
+        print_blob=True,
+    )
+    settings.register_profile("dev", deadline=None)

@@ -1,0 +1,47 @@
+"""Replay every checked-in reproducer in ``tests/fuzz_corpus/``.
+
+Each corpus file becomes one pytest case.  ``"expect": "pass"`` files are
+regression pins: instances the harness once exercised (or minimized
+reproducers of since-fixed bugs) that must stay green forever.
+``"expect": "fail"`` files would be open bugs -- the campaign writes them
+but they are only checked in deliberately; replaying them red keeps an
+open bug visible until it is fixed and the file flipped to ``"pass"``.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.fuzz.corpus import corpus_files, load_reproducer
+from repro.fuzz.harness import run_instance
+
+CORPUS = Path(__file__).resolve().parent.parent / "fuzz_corpus"
+
+
+def test_corpus_is_not_empty():
+    assert corpus_files(CORPUS), (
+        f"no reproducers under {CORPUS}; the checked-in pins are gone"
+    )
+
+
+@pytest.mark.parametrize(
+    "path", corpus_files(CORPUS), ids=lambda p: p.stem
+)
+def test_replay(path):
+    instance, config, raw = load_reproducer(path)
+    report = run_instance(instance, config)
+    if raw.get("expect", "fail") == "pass":
+        assert report.ok, f"{path.name}: regression pin went red: {report}"
+    else:
+        expected = set(raw.get("failure", {}).get("checks", []))
+        assert not report.ok, (
+            f"{path.name}: expected-fail reproducer now passes; "
+            "flip it to \"expect\": \"pass\""
+        )
+        if expected:
+            assert report.failed_checks & expected, (
+                f"{path.name}: fails for a different reason "
+                f"({sorted(report.failed_checks)} vs pinned {sorted(expected)})"
+            )

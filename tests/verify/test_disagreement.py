@@ -1,0 +1,104 @@
+"""Disagreement detection: the verifiers must go red on wrong artifacts.
+
+Every other verify test exercises the green path.  Here we hand each
+verifier something subtly wrong -- a compiled program whose body computes a
+different function than the source, an array violating one specific
+theorem -- and require a loud, correctly-attributed failure.  A verifier
+that never fires is indistinguishable from one that checks nothing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from types import SimpleNamespace
+
+import pytest
+
+from repro.core.scheme import compile_systolic
+from repro.geometry.linalg import Matrix
+from repro.lang.expr import BinOp, Body, Const
+from repro.systolic.designs import all_paper_designs
+from repro.systolic.spec import SystolicArray
+from repro.util.errors import SystolicSpecError, VerificationError
+from repro.verify.equivalence import verify_design
+from repro.verify.theorems import (
+    THEOREM_CHECKS,
+    check_all_theorems,
+    theorem_1_null_dimension,
+    theorem_3_step_nonzero_on_null,
+)
+
+
+def _design(exp_id):
+    for e, program, array in all_paper_designs():
+        if e == exp_id:
+            return program, array
+    raise LookupError(exp_id)
+
+
+def _off_by_one(program):
+    """The same program computing `expr + 1`: streams and dependences are
+    unchanged, so the original design still compiles it."""
+    (branch,) = program.body.branches
+    (assign,) = branch.assigns
+    wrong = BinOp("+", assign.expr, Const(1))
+    return replace(program, body=Body.single_assign(assign.stream, wrong))
+
+
+class TestEquivalenceDisagreement:
+    def test_wrong_body_is_reported(self):
+        program, array = _design("D1")
+        wrong_sp = compile_systolic(_off_by_one(program), array)
+        report = verify_design(
+            program, array, {"n": 3}, compiled=wrong_sp, raise_on_mismatch=False
+        )
+        assert not report.matched
+        assert report.mismatches
+        assert "oracle" in report.mismatches[0]
+
+    def test_wrong_body_raises_by_default(self):
+        program, array = _design("D1")
+        wrong_sp = compile_systolic(_off_by_one(program), array)
+        with pytest.raises(VerificationError, match="disagrees with the oracle"):
+            verify_design(program, array, {"n": 3}, compiled=wrong_sp)
+
+    def test_honest_design_still_matches(self):
+        program, array = _design("D1")
+        report = verify_design(program, array, {"n": 3})
+        assert report.matched and not report.mismatches
+
+
+class TestTheoremDisagreement:
+    def test_theorem_1_rank_deficient_place(self):
+        # SystolicArray itself refuses a rank-deficient place, so the
+        # theorem check is exercised on a bare stand-in.
+        program, _ = _design("E1")
+        fake = SimpleNamespace(place=Matrix(((1, 0, 0), (2, 0, 0))))
+        with pytest.raises(VerificationError, match="Theorem 1"):
+            theorem_1_null_dimension(program, fake, {"n": 3})
+        with pytest.raises(SystolicSpecError, match="rank"):
+            SystolicArray(
+                step=Matrix(((1, 1, 1),)),
+                place=Matrix(((1, 0, 0), (2, 0, 0))),
+            )
+
+    def test_theorem_3_step_vanishes_on_null_place(self):
+        # place rows (1,0,0),(0,1,1) have null direction (0,1,-1);
+        # step (1,1,1) is orthogonal to it, so processes would have to
+        # compute two statements at the same time step.
+        program, _ = _design("E1")
+        bad = SystolicArray(
+            step=Matrix(((1, 1, 1),)),
+            place=Matrix(((1, 0, 0), (0, 1, 1))),
+            name="theorem-3-violation",
+        )
+        with pytest.raises(VerificationError, match="Theorem 3"):
+            theorem_3_step_nonzero_on_null(program, bad, {"n": 3})
+        with pytest.raises(VerificationError, match="Theorem 3"):
+            check_all_theorems(program, bad, {"n": 3})
+
+    @pytest.mark.parametrize("exp_id", ["D1", "D2", "E1", "E2"])
+    def test_paper_designs_verify_every_theorem(self, exp_id):
+        program, array = _design(exp_id)
+        verified = check_all_theorems(program, array, {"n": 3})
+        assert verified == sorted(THEOREM_CHECKS)

@@ -1,0 +1,141 @@
+#!/usr/bin/env python3
+"""Benchmark the differential fuzzer's throughput and shrinker.
+
+Writes ``BENCH_fuzz.json`` at the repository root: instances checked per
+second for a clean campaign, the aggregate and mean per-check wall-clock
+(which check dominates the budget), and a shrinker section timing the
+minimization of a planted ``drain_plus_one`` bug (steps taken, loop count
+of the reproducer).
+
+Usage:
+    PYTHONPATH=src python tools/bench_fuzz.py [--check] [-o OUT.json]
+        [--seed N] [--iterations N]
+
+``--check`` exits non-zero unless the clean campaign finds nothing AND the
+planted bug is caught and shrunk to a reproducer of at most 2 loops (the
+acceptance bar for the harness + shrinker).
+"""
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+import time
+
+_ROOT = pathlib.Path(__file__).resolve().parent.parent
+if str(_ROOT) not in sys.path:
+    sys.path.insert(0, str(_ROOT))
+
+from repro.fuzz import (
+    HarnessConfig,
+    fuzz_run,
+    generate_instance,
+    run_instance,
+    shrink_instance,
+)
+
+SHRINK_SEEDS = (0, 1, 2)
+
+
+def bench_campaign(seed: int, iterations: int) -> dict:
+    summary = fuzz_run(seed=seed, iterations=iterations, shrink=False)
+    per_check = {
+        name: {
+            "runs": summary.check_counts.get(name, 0),
+            "total_s": round(seconds, 6),
+            "mean_ms": round(
+                1000.0 * seconds / max(1, summary.check_counts.get(name, 1)), 3
+            ),
+        }
+        for name, seconds in sorted(summary.check_seconds.items())
+    }
+    return {
+        "campaign": summary.row(),
+        "instances_per_s": round(summary.generated / max(summary.elapsed_s, 1e-9), 2),
+        "per_check": per_check,
+        "clean": summary.ok,
+    }
+
+
+def bench_shrink(seed: int) -> dict | None:
+    instance = generate_instance(seed)
+    if instance is None:
+        return None
+    config = HarnessConfig(mutate="drain_plus_one")
+    report = run_instance(instance, config)
+    if report.ok:
+        return {"seed": seed, "caught": False}
+    t0 = time.perf_counter()
+    shrunk, final_report = shrink_instance(instance, config)
+    shrink_s = time.perf_counter() - t0
+    return {
+        "seed": seed,
+        "caught": True,
+        "failed_checks": sorted(report.failed_checks),
+        "shrink_s": round(shrink_s, 6),
+        "original_loops": instance.program.r,
+        "shrunk_loops": shrunk.program.r,
+        "shrunk_streams": len(shrunk.program.streams),
+        "shrunk_source_lines": len(shrunk.program.to_source().splitlines()),
+        "still_failing": sorted(final_report.failed_checks),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--check", action="store_true",
+                        help="fail unless clean campaign + planted bug "
+                             "shrunk to <= 2 loops")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--iterations", type=int, default=40)
+    parser.add_argument("-o", "--output",
+                        default=str(_ROOT / "BENCH_fuzz.json"))
+    args = parser.parse_args(argv)
+
+    campaign = bench_campaign(args.seed, args.iterations)
+    print(f"campaign seed {args.seed}: "
+          f"{campaign['campaign']['generated']} instances in "
+          f"{campaign['campaign']['elapsed_s']}s "
+          f"({campaign['instances_per_s']}/s), "
+          f"{'clean' if campaign['clean'] else 'FAILURES'}")
+    for name, row in campaign["per_check"].items():
+        print(f"  {name:<16} x{row['runs']:<4} {row['total_s']:8.3f}s total  "
+              f"{row['mean_ms']:8.2f}ms mean")
+
+    shrinks = [s for s in (bench_shrink(s) for s in SHRINK_SEEDS) if s]
+    for row in shrinks:
+        if row["caught"]:
+            print(f"shrink seed {row['seed']}: drain_plus_one caught by "
+                  f"{row['failed_checks']}, minimized "
+                  f"{row['original_loops']} -> {row['shrunk_loops']} loops "
+                  f"in {row['shrink_s']:.2f}s")
+        else:
+            print(f"shrink seed {row['seed']}: planted bug NOT caught")
+
+    report = {
+        "units": "seconds",
+        "campaign": campaign,
+        "shrink_drain_plus_one": shrinks,
+    }
+    out = pathlib.Path(args.output)
+    out.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {out}")
+
+    if args.check:
+        if not campaign["clean"]:
+            print("FAIL: clean campaign reported failures", file=sys.stderr)
+            return 1
+        bad = [s for s in shrinks
+               if not s["caught"] or s["shrunk_loops"] > 2]
+        if not shrinks or bad:
+            print(f"FAIL: planted bug not caught/shrunk to <= 2 loops: {bad}",
+                  file=sys.stderr)
+            return 1
+        print("check passed: clean campaign; planted bug caught and "
+              "shrunk to <= 2 loops")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
