@@ -208,6 +208,7 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
             shrink=not args.no_shrink,
             max_shrink_steps=args.max_shrink_steps,
             corpus_dir=args.corpus_dir,
+            feature=args.feature,
             log=lambda message: print(message, file=sys.stderr),
         )
     requested = resolve_jobs(args.jobs)
@@ -231,6 +232,24 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
             print(f"  {message}")
         if failure.reproducer:
             print(f"  minimized reproducer: {failure.reproducer}")
+    if args.summary_out:
+        artifact = {
+            **summary.row(),
+            "check_counts": dict(sorted(summary.check_counts.items())),
+            "failed_iterations": [
+                {
+                    "iteration": f.iteration,
+                    "instance_seed": f.instance_seed,
+                    "checks": f.checks,
+                    "reproducer": f.reproducer,
+                }
+                for f in summary.failures
+            ],
+        }
+        Path(args.summary_out).write_text(
+            json.dumps(artifact, indent=2, sort_keys=True) + "\n"
+        )
+        print(f"summary artifact: {args.summary_out}", file=sys.stderr)
     return 0 if summary.ok else 1
 
 
@@ -339,6 +358,20 @@ def build_parser() -> argparse.ArgumentParser:
         "--corpus-dir",
         default="tests/fuzz_corpus",
         help="where minimized reproducers are written",
+    )
+    from repro.fuzz.generator import FEATURES
+
+    p.add_argument(
+        "--feature",
+        choices=FEATURES,
+        default=None,
+        help="restrict the campaign to one generator stratum",
+    )
+    p.add_argument(
+        "--summary-out",
+        default=None,
+        metavar="PATH",
+        help="write the campaign summary as a JSON artifact",
     )
     p.set_defaults(func=cmd_fuzz)
 

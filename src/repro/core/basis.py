@@ -18,15 +18,27 @@ from repro.geometry.rectangle import Rectangle
 from repro.lang.program import SourceProgram
 from repro.symbolic.affine import Affine, AffineVec, Numeric
 from repro.symbolic.guard import Constraint, Guard
+from repro.symbolic.minmax import (
+    Bound,
+    lower_bound_constraints,
+    upper_bound_constraints,
+)
 from repro.systolic.spec import SystolicArray
 
 
 def process_space_basis(
     program: SourceProgram, array: SystolicArray
 ) -> tuple[AffineVec, AffineVec]:
-    """``(PS_min, PS_max)`` as affine vectors in the problem-size symbols."""
-    mins: list[Affine] = []
-    maxs: list[Affine] = []
+    """``(PS_min, PS_max)`` as (possibly min/max-form) affine vectors in
+    the problem-size symbols.
+
+    With extremum loop bounds the accumulation stays closed: a positive
+    place coefficient keeps the bound's kind, a negative one flips it, so
+    each ``PS_min`` component is plain or ``max``-form and each ``PS_max``
+    component plain or ``min``-form.
+    """
+    mins: list[Bound] = []
+    maxs: list[Bound] = []
     for i in range(array.place.nrows):
         lo = Affine.constant(0)
         hi = Affine.constant(0)
@@ -47,11 +59,11 @@ def process_space_guard(
     ps_min: AffineVec, ps_max: AffineVec, coords: Sequence[str]
 ) -> Guard:
     """The guard ``PS_min.i <= y.i <= PS_max.i`` over coordinate symbols."""
-    constraints = []
+    constraints: list[Constraint] = []
     for name, lo, hi in zip(coords, ps_min, ps_max):
         y = Affine.var(name)
-        constraints.append(Constraint.ge(y, lo))
-        constraints.append(Constraint.le(y, hi))
+        constraints.extend(lower_bound_constraints(y, lo))
+        constraints.extend(upper_bound_constraints(y, hi))
     return Guard(constraints)
 
 

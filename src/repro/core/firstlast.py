@@ -37,6 +37,12 @@ from repro.geometry.point import Point
 from repro.lang.program import SourceProgram
 from repro.symbolic.affine import Affine, AffineVec
 from repro.symbolic.guard import Constraint, Guard
+from repro.symbolic.minmax import (
+    Bound,
+    bound_alternatives,
+    lower_bound_constraints,
+    upper_bound_constraints,
+)
 from repro.symbolic.piecewise import Case, Piecewise
 from repro.systolic.spec import SystolicArray
 from repro.util.errors import CompilationError
@@ -70,7 +76,7 @@ def is_simple_place(array: SystolicArray, increment: Point) -> bool:
     return True
 
 
-def _face_bound(program: SourceProgram, axis: int, inc_component, kind: Kind) -> Affine:
+def _face_bound(program: SourceProgram, axis: int, inc_component, kind: Kind) -> Bound:
     """The pinned bound of the face in dimension ``axis``."""
     loop = program.loops[axis]
     positive = inc_component > 0
@@ -107,8 +113,8 @@ def _solve_face(
         e_j = next(sol_iter)
         components.append(e_j)
         loop = program.loops[j]
-        guards.append(Constraint.ge(e_j, loop.lower))
-        guards.append(Constraint.le(e_j, loop.upper))
+        guards.extend(lower_bound_constraints(e_j, loop.lower))
+        guards.extend(upper_bound_constraints(e_j, loop.upper))
     return AffineVec(components), Guard(guards)
 
 
@@ -153,15 +159,28 @@ def _derive_endpoint(
     if is_simple_place(array, increment):
         axis = faces[0]
         bound = _face_bound(program, axis, increment[axis], kind)
-        expr, _guard = _solve_face(program, array, axis, bound, coords)
-        # CS = PS: one expression, no guards, no null processes (7.2.3).
-        return Piecewise.single(expr)
+        alts = bound_alternatives(bound)
+        if len(alts) == 1:
+            expr, _guard = _solve_face(program, array, axis, alts[0][1], coords)
+            # CS = PS: one expression, no guards, no null processes (7.2.3).
+            return Piecewise.single(expr)
+        # Extremum pinned bound: split on which argument attains it.  The
+        # selector guards only involve size symbols, jointly cover the
+        # parameter space, and the alternatives agree on ties, so CS = PS
+        # still holds and no null default is needed.
+        cases = [
+            Case(Guard(sel), _solve_face(program, array, axis, value, coords)[0])
+            for sel, value in alts
+        ]
+        return Piecewise(cases)
 
     cases: list[Case] = []
     for axis in faces:
         bound = _face_bound(program, axis, increment[axis], kind)
-        expr, guard = _solve_face(program, array, axis, bound, coords)
-        cases.append(Case(guard, expr))
+        for sel, value in bound_alternatives(bound):
+            expr, guard = _solve_face(program, array, axis, value, coords)
+            case_guard = guard if not sel else Guard(sel + guard.constraints)
+            cases.append(Case(case_guard, expr))
     return Piecewise.with_null_default(cases)
 
 

@@ -30,7 +30,12 @@ from repro.geometry.linalg import Matrix
 from repro.geometry.point import Point
 from repro.lang.stream import Stream
 from repro.symbolic.affine import Affine, AffineVec
-from repro.symbolic.guard import Constraint, Guard
+from repro.symbolic.guard import Guard
+from repro.symbolic.minmax import (
+    bound_alternatives,
+    lower_bound_constraints,
+    upper_bound_constraints,
+)
 from repro.symbolic.piecewise import Case, Piecewise
 from repro.systolic.spec import SystolicArray
 from repro.util.errors import CompilationError
@@ -103,18 +108,23 @@ def derive_io_endpoint(
             continue
         lo, hi = variable.bounds[axis]
         if kind == "first":
-            pinned = lo if comp > 0 else hi
-            scale = (m_x[axis] - pinned) / comp
-            value = m_x - AffineVec.from_point(increment_s) * scale
+            pinned_bound = lo if comp > 0 else hi
         else:
-            pinned = hi if comp > 0 else lo
-            scale = (pinned - m_x[axis]) / comp
-            value = m_x + AffineVec.from_point(increment_s) * scale
-        constraints = []
-        for j, (lo_j, hi_j) in enumerate(variable.bounds):
-            constraints.append(Constraint.ge(value[j], lo_j))
-            constraints.append(Constraint.le(value[j], hi_j))
-        cases.append(Case(Guard(constraints), value))
+            pinned_bound = hi if comp > 0 else lo
+        # An extremum face bound splits into one alternative per argument,
+        # guarded by the selector constraints that pick that argument.
+        for sel, pinned in bound_alternatives(pinned_bound):
+            if kind == "first":
+                scale = (m_x[axis] - pinned) / comp
+                value = m_x - AffineVec.from_point(increment_s) * scale
+            else:
+                scale = (pinned - m_x[axis]) / comp
+                value = m_x + AffineVec.from_point(increment_s) * scale
+            constraints = list(sel)
+            for j, (lo_j, hi_j) in enumerate(variable.bounds):
+                constraints.extend(lower_bound_constraints(value[j], lo_j))
+                constraints.extend(upper_bound_constraints(value[j], hi_j))
+            cases.append(Case(Guard(constraints), value))
     if not cases:
         raise CompilationError(
             f"stream {stream.name}: increment_s is the zero vector"

@@ -29,6 +29,7 @@ from repro.core.propagation import derive_drain, derive_soak
 from repro.lang.program import SourceProgram
 from repro.lang.validate import validate_program
 from repro.symbolic.guard import Constraint, Guard
+from repro.symbolic.minmax import bound_le_constraints
 from repro.systolic.check import check_systolic_array
 from repro.systolic.flow import flow_denominator, is_stationary, stream_flow
 from repro.systolic.spec import SystolicArray
@@ -46,10 +47,15 @@ def default_coords(dim: int) -> tuple[str, ...]:
 
 
 def loop_range_assumptions(program: SourceProgram) -> Guard:
-    """The paper's standing assumption ``lb_i <= rb_i`` for every loop."""
-    return Guard(
-        Constraint.le(lp.lower, lp.upper) for lp in program.loops
-    )
+    """The paper's standing assumption ``lb_i <= rb_i`` for every loop.
+
+    An extremum bound expands conjunctively: ``max(a, b) <= min(c, d)``
+    contributes every pairwise ``a_i <= c_j``.
+    """
+    constraints: list[Constraint] = []
+    for lp in program.loops:
+        constraints.extend(bound_le_constraints(lp.lower, lp.upper))
+    return Guard(constraints)
 
 
 def compile_systolic(

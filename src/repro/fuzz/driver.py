@@ -20,7 +20,7 @@ import time
 from dataclasses import dataclass, field, replace
 
 from repro.fuzz.corpus import instance_to_json, write_reproducer
-from repro.fuzz.generator import generate_instance
+from repro.fuzz.generator import generate_instance, program_features
 from repro.fuzz.harness import HarnessConfig, run_instance
 from repro.fuzz.shrink import shrink_instance
 
@@ -56,8 +56,10 @@ class FuzzSummary:
     elapsed_s: float = 0.0
     jobs: int = 1
     stopped_early: bool = False  # time budget exhausted
+    feature: str | None = None  # stratum restriction, if any
     check_counts: dict = field(default_factory=dict)
     check_seconds: dict = field(default_factory=dict)
+    feature_counts: dict = field(default_factory=dict)
     failures: list = field(default_factory=list)
 
     @property
@@ -74,6 +76,8 @@ class FuzzSummary:
             "elapsed_s": round(self.elapsed_s, 3),
             "jobs": self.jobs,
             "stopped_early": self.stopped_early,
+            "feature": self.feature,
+            "feature_counts": dict(sorted(self.feature_counts.items())),
         }
 
     def __str__(self) -> str:
@@ -101,9 +105,12 @@ def iteration_config(base: HarnessConfig, iteration: int) -> HarnessConfig:
 _WORKER: dict = {}
 
 
-def _init_fuzz_worker(base_seed: int, config: HarnessConfig) -> None:
+def _init_fuzz_worker(
+    base_seed: int, config: HarnessConfig, feature: str | None = None
+) -> None:
     _WORKER["base_seed"] = base_seed
     _WORKER["config"] = config
+    _WORKER["feature"] = feature
 
 
 def _fuzz_task(iteration: int) -> dict:
@@ -111,7 +118,7 @@ def _fuzz_task(iteration: int) -> dict:
     base_seed = _WORKER["base_seed"]
     config = iteration_config(_WORKER["config"], iteration)
     instance_seed = base_seed * SEED_STRIDE + iteration
-    instance = generate_instance(instance_seed)
+    instance = generate_instance(instance_seed, feature=_WORKER.get("feature"))
     if instance is None:
         return {"iteration": iteration, "status": "skipped"}
     report = run_instance(instance, config)
@@ -121,6 +128,7 @@ def _fuzz_task(iteration: int) -> dict:
         "instance_seed": instance_seed,
         "checks_run": list(report.checks_run),
         "timings": dict(report.timings),
+        "features": sorted(program_features(instance.program)),
     }
     if not report.ok:
         record["checks"] = sorted(report.failed_checks)
@@ -141,6 +149,7 @@ def fuzz_run(
     max_shrink_steps: int = 96,
     corpus_dir: str | None = None,
     max_failures: int = 5,
+    feature: str | None = None,
     log=None,
 ) -> FuzzSummary:
     """Run a fuzz campaign; returns the summary (never raises on findings).
@@ -148,12 +157,14 @@ def fuzz_run(
     ``time_budget`` (seconds) stops the campaign between batches once
     exceeded.  At most ``max_failures`` failing iterations are shrunk and
     written to ``corpus_dir`` (when given); the campaign also stops early
-    once that many failures have been collected.
+    once that many failures have been collected.  ``feature`` restricts the
+    campaign to one generator stratum (see ``generator.FEATURES``): each
+    iteration resamples until its program carries that feature tag.
     """
     from repro.parallel import pool_map
 
     base_config = config or HarnessConfig()
-    summary = FuzzSummary(seed=seed)
+    summary = FuzzSummary(seed=seed, feature=feature)
     t0 = time.perf_counter()
 
     # Batches keep the pool busy while letting the driver honour the time
@@ -177,7 +188,7 @@ def fuzz_run(
             batch,
             jobs=jobs,
             initializer=_init_fuzz_worker,
-            initargs=(seed, base_config),
+            initargs=(seed, base_config, feature),
         )
         for record in records:
             summary.iterations += 1
@@ -190,6 +201,10 @@ def fuzz_run(
             for name, dt in record["timings"].items():
                 summary.check_seconds[name] = (
                     summary.check_seconds.get(name, 0.0) + dt
+                )
+            for tag in record.get("features", ()):
+                summary.feature_counts[tag] = (
+                    summary.feature_counts.get(tag, 0) + 1
                 )
             if record["status"] == "failed":
                 summary.failures.append(

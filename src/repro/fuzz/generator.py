@@ -4,19 +4,25 @@ Programs are *valid by construction* (and re-checked through
 :func:`repro.lang.validate.validate_program`): the generator only emits
 shapes that satisfy Appendix A structurally --
 
-* ``r`` in {2, 3} perfectly nested loops, steps in {-1, +1}, bounds affine
-  in the size symbols with ``lb <= rb`` guaranteed at every size >= 2;
+* ``r`` in {2, 3} perfectly nested loops; every axis draws its step from
+  {-1, +1} with *equal weight* (all-negative and mixed-sign nests
+  included); bounds are affine in the size symbols -- or ``max``-form
+  lower / ``min``-form upper extremum bounds when two size symbols are in
+  scope -- with ``lb <= rb`` guaranteed at every size >= 2;
 * per stream, an ``(r-1) x r`` index map whose rows have *disjoint,
   non-empty supports* with coefficients in {-1, +1}.  Disjoint supports
   force rank ``r-1``; per-row value sets are sumsets of stride-1 intervals
   (hence contiguous), and disjointness makes the joint image the full box,
   so the surjectivity restriction ("every element accessed") always holds
   once the variable bounds are derived from the loop bounds through the
-  map (:func:`variable_bounds_for`);
+  map (:func:`variable_bounds_for`) -- contiguity is independent of the
+  symbolic form of the loop bounds, so extremum bounds preserve it;
 * a basic statement that accesses every declared stream: one unconditional
-  (usually accumulating) assignment built from random ``+ - * min max``
-  trees over the stream reads, optionally followed by a guarded branch
-  whose condition is affine in the loop indices.
+  (usually accumulating) assignment to ``c`` built from random
+  ``+ - * min max`` trees over the stream reads, optionally followed by
+  guarded branches whose conditions are affine in the loop indices --
+  including multi-assignment branches whose distinct assignments write
+  *different* streams (any stream may be written, not just ``c``).
 
 Designs are drawn from the *bounded synthesis space* the explorer already
 searches: a random minimal-makespan ``step`` (coefficient bound 2), a
@@ -49,6 +55,7 @@ from repro.lang.stream import Stream
 from repro.lang.validate import validate_program
 from repro.lang.variables import IndexedVariable
 from repro.symbolic.affine import Affine
+from repro.symbolic.minmax import Bound, extremum
 from repro.systolic.explore import loading_candidates
 from repro.systolic.schedule import synthesize_places, synthesize_step
 from repro.systolic.spec import SystolicArray
@@ -90,7 +97,7 @@ class FuzzInstance:
 # ----------------------------------------------------------------------
 def variable_bounds_for(
     rows, loops: tuple[Loop, ...]
-) -> tuple[tuple[Affine, Affine], ...]:
+) -> tuple[tuple[Bound, Bound], ...]:
     """Exact per-dimension bounds of the image of the loop box under a map.
 
     For row coefficients ``c`` the image of ``c * [lb .. ub]`` is
@@ -98,11 +105,14 @@ def variable_bounds_for(
     summing per support axis gives the bounding interval of the row.  With
     the generator's {-1, +1} coefficients the image *covers* this interval,
     so using it as the variable bounds satisfies the coverage restriction.
+    Extremum loop bounds stay closed under this accumulation (a negative
+    coefficient flips ``min`` and ``max``), so the derived variable bounds
+    keep the max-form-lower / min-form-upper shape.
     """
-    bounds: list[tuple[Affine, Affine]] = []
+    bounds: list[tuple[Bound, Bound]] = []
     for row in rows:
-        lo = Affine.constant(0)
-        hi = Affine.constant(0)
+        lo: Bound = Affine.constant(0)
+        hi: Bound = Affine.constant(0)
         for c, lp in zip(row, loops):
             if c == 0:
                 continue
@@ -172,19 +182,50 @@ def _random_expr(
     return term
 
 
+def _random_lower_bound(rng: random.Random, size_syms: tuple[str, ...]) -> Bound:
+    """A left bound: a small constant, or (with two sizes in scope) a
+    ``max`` of a constant and a size difference.  Always <= 2 at sizes in
+    [2, 4], so any generated right bound (always >= 2) dominates it."""
+    if len(size_syms) >= 2 and rng.random() < 0.35:
+        a, b = rng.sample(size_syms, 2)
+        return extremum(
+            "max",
+            (
+                Affine.constant(rng.choice((0, 0, 1, -1))),
+                Affine.var(a) - Affine.var(b),
+            ),
+        )
+    return Affine.constant(rng.choice((0, 0, 0, 0, 1, -1)))
+
+
+def _random_upper_bound(rng: random.Random, size_syms: tuple[str, ...]) -> Bound:
+    """A right bound: ``size + c`` with ``c >= 0``, or (with two sizes in
+    scope) a ``min`` of two such terms.  Always >= 2 at sizes in [2, 4]."""
+    if len(size_syms) >= 2 and rng.random() < 0.35:
+        a, b = rng.sample(size_syms, 2)
+        return extremum(
+            "min",
+            (
+                Affine.var(a) + rng.choice((0, 0, 1)),
+                Affine.var(b) + rng.choice((0, 0, 1, 2)),
+            ),
+        )
+    return Affine.var(rng.choice(size_syms)) + rng.choice((0, 0, 0, 1, 2))
+
+
 def generate_program(
     rng: random.Random, *, name: str = "fuzzed"
 ) -> SourceProgram:
     """One random valid source program (raises if generation has a bug)."""
     r = rng.choice((2, 2, 3, 3, 3))
-    n_sizes = 1 if r == 2 else rng.choice((1, 1, 1, 2))
+    n_sizes = rng.choice((1, 1, 2))
     size_syms = SIZE_NAMES[:n_sizes]
 
     loops = []
     for t in range(r):
-        lower = Affine.constant(rng.choice((0, 0, 0, 0, 1, -1)))
-        upper = Affine.var(rng.choice(size_syms)) + rng.choice((0, 0, 0, 1, 2))
-        step = rng.choice((1, 1, 1, 1, -1))
+        lower = _random_lower_bound(rng, size_syms)
+        upper = _random_upper_bound(rng, size_syms)
+        step = rng.choice((1, -1))
         loops.append(Loop(INDEX_NAMES[t], lower, upper, step))
     loops = tuple(loops)
 
@@ -200,6 +241,7 @@ def generate_program(
     written = "c"
     reads = tuple(n for n in names if n != written)
     branches = [Branch(None, (Assign(written, _random_expr(rng, written, reads)),))]
+    indices = tuple(lp.index for lp in loops)
     if rng.random() < 0.3:
         extra_src = rng.choice((written,) + reads)
         extra = BinOp(
@@ -207,10 +249,32 @@ def generate_program(
         )
         branches.append(
             Branch(
-                _random_condition(rng, tuple(lp.index for lp in loops)),
+                _random_condition(rng, indices),
                 (Assign(written, extra),),
             )
         )
+    if reads and rng.random() < 0.3:
+        # A multi-assignment guarded branch whose assignments write
+        # *different* streams: a read stream updates itself and "c" gets
+        # a second guarded write.  Body.execute runs assignments in
+        # order, so splitting the branch per assignment -- as to_source
+        # does -- is semantically identical.
+        other = rng.choice(reads)
+        assigns = (
+            Assign(
+                other,
+                BinOp(
+                    rng.choice(("+", "max")),
+                    StreamRead(other),
+                    Const(rng.randint(1, 2)),
+                ),
+            ),
+            Assign(
+                written,
+                BinOp("+", StreamRead(written), StreamRead(other)),
+            ),
+        )
+        branches.append(Branch(_random_condition(rng, indices), assigns))
 
     program = SourceProgram(
         loops=loops,
@@ -261,14 +325,48 @@ def generate_design(
     return None
 
 
+#: strata a campaign can be restricted to (`generate_instance(feature=...)`)
+FEATURES = ("negative_step", "all_negative", "minmax_bound", "multi_branch")
+
+
+def program_features(program: SourceProgram) -> frozenset[str]:
+    """The grammar-coverage tags of one program (see ``docs/fuzzing.md``)."""
+    from repro.symbolic.minmax import Extremum
+
+    tags = set()
+    steps = [lp.step for lp in program.loops]
+    if any(s < 0 for s in steps):
+        tags.add("negative_step")
+    if all(s < 0 for s in steps):
+        tags.add("all_negative")
+    if any(
+        isinstance(b, Extremum)
+        for lp in program.loops
+        for b in (lp.lower, lp.upper)
+    ):
+        tags.add("minmax_bound")
+    if len(program.body.streams_written()) > 1:
+        tags.add("multi_branch")
+    return frozenset(tags)
+
+
 def generate_instance(
-    seed: int, *, max_attempts: int = 40
+    seed: int, *, max_attempts: int = 40, feature: str | None = None
 ) -> FuzzInstance | None:
     """The deterministic instance for ``seed`` (``None`` when every attempt
-    lands outside the schedulable space -- rare, and itself deterministic)."""
+    lands outside the schedulable space -- rare, and itself deterministic).
+
+    ``feature`` restricts generation to one stratum of :data:`FEATURES`:
+    attempts whose program lacks the tag are resampled, so a stratified
+    campaign spends its whole budget on that part of the grammar.
+    """
+    if feature is not None and feature not in FEATURES:
+        raise ValueError(f"unknown feature {feature!r}; choose from {FEATURES}")
     rng = random.Random(seed)
     for attempt in range(max_attempts):
         program = generate_program(rng, name=f"fuzz_s{seed}")
+        if feature is not None and feature not in program_features(program):
+            continue
         array = generate_design(rng, program)
         if array is None:
             continue

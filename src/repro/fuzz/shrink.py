@@ -13,7 +13,10 @@ first:
 * drop a guarded branch of the basic statement;
 * drop a read-only stream (its reads are replaced by the constant 1);
 * simplify the expression tree (replace a ``BinOp`` by either operand);
-* simplify loop bounds (constants toward 0, negative steps to +1).
+* simplify an index map (zero an entry, or pull a ``|c| > 1`` coefficient
+  to its sign), re-deriving the variable's bounds;
+* simplify loop bounds (an extremum bound collapses to each of its
+  arguments, constants move toward 0, negative steps flip to +1).
 
 Structural transformations invalidate the design, so each candidate is
 rebuilt: the original array is kept when it still compiles, otherwise the
@@ -50,6 +53,7 @@ from repro.lang.stream import Stream
 from repro.lang.validate import validate_program
 from repro.lang.variables import IndexedVariable
 from repro.symbolic.affine import Affine
+from repro.symbolic.minmax import Extremum
 from repro.systolic.explore import loading_candidates
 from repro.systolic.schedule import synthesize_places, synthesize_step
 from repro.systolic.spec import SystolicArray
@@ -367,20 +371,78 @@ def _expr_candidates(inst: FuzzInstance) -> Iterator[FuzzInstance]:
                         yield rebuilt
 
 
+def _index_map_candidates(inst: FuzzInstance) -> Iterator[FuzzInstance]:
+    """Simplify one index-map entry at a time.
+
+    Zeroing an entry (or pulling a ``|c| > 1`` coefficient back to its
+    sign) keeps the map integral; candidates that lose rank ``r - 1`` are
+    rejected by ``validate_program`` inside ``_rebuild``.  The variable's
+    bounds are re-derived from the new rows.
+    """
+    program = inst.program
+    for si, s in enumerate(program.streams):
+        rows = [list(r) for r in s.index_map.rows]
+        for i in range(len(rows)):
+            for j, c in enumerate(rows[i]):
+                if c == 0:
+                    continue
+                targets = [0] if abs(c) == 1 else [c // abs(c), 0]
+                for target in targets:
+                    new_rows = [tuple(r) for r in rows]
+                    row = list(new_rows[i])
+                    row[j] = target
+                    if not any(row):
+                        continue  # a zero row can never keep full rank
+                    new_rows[i] = tuple(row)
+                    try:
+                        var = IndexedVariable(
+                            s.name, variable_bounds_for(new_rows, program.loops)
+                        )
+                        new_stream = Stream(var, Matrix(new_rows))
+                    except ReproError:
+                        continue
+                    streams = (
+                        program.streams[:si]
+                        + (new_stream,)
+                        + program.streams[si + 1 :]
+                    )
+                    try:
+                        candidate = SourceProgram(
+                            loops=program.loops,
+                            streams=streams,
+                            body=program.body,
+                            size_symbols=program.size_symbols,
+                            name=program.name,
+                        )
+                    except ReproError:
+                        continue
+                    rebuilt = _rebuild(candidate, inst.env, hint=inst.array)
+                    if rebuilt is not None:
+                        yield rebuilt
+
+
+def _bound_variants(lp: Loop) -> Iterator[Loop]:
+    """Shrink moves for one loop: flip a negative step, collapse an
+    extremum bound to each of its arguments, nudge constants toward 0."""
+    if lp.step == -1:
+        yield Loop(lp.index, lp.lower, lp.upper, 1)
+    if isinstance(lp.upper, Extremum):
+        for arg in lp.upper.args:
+            yield Loop(lp.index, lp.lower, arg, lp.step)
+    elif lp.upper.const > 0:
+        yield Loop(lp.index, lp.lower, lp.upper - 1, lp.step)
+    if isinstance(lp.lower, Extremum):
+        for arg in lp.lower.args:
+            yield Loop(lp.index, arg, lp.upper, lp.step)
+    elif lp.lower.const != 0:
+        toward = -1 if lp.lower.const > 0 else 1
+        yield Loop(lp.index, lp.lower + toward, lp.upper, lp.step)
+
+
 def _bound_candidates(inst: FuzzInstance) -> Iterator[FuzzInstance]:
     program = inst.program
     for t, lp in enumerate(program.loops):
-        variants: list[Loop] = []
-        if lp.step == -1:
-            variants.append(Loop(lp.index, lp.lower, lp.upper, 1))
-        if lp.upper.const > 0:
-            variants.append(Loop(lp.index, lp.lower, lp.upper - 1, lp.step))
-        if lp.lower.const != 0:
-            toward = -1 if lp.lower.const > 0 else 1
-            variants.append(
-                Loop(lp.index, lp.lower + toward, lp.upper, lp.step)
-            )
-        for variant in variants:
+        for variant in _bound_variants(lp):
             loops = program.loops[:t] + (variant,) + program.loops[t + 1 :]
             candidate = _with_loops(program, loops)
             if candidate is None:
@@ -396,6 +458,7 @@ def _candidates(inst: FuzzInstance) -> Iterator[FuzzInstance]:
     yield from _branch_drop_candidates(inst)
     yield from _stream_drop_candidates(inst)
     yield from _expr_candidates(inst)
+    yield from _index_map_candidates(inst)
     yield from _bound_candidates(inst)
 
 

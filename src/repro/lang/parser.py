@@ -42,6 +42,7 @@ from repro.lang.program import Loop, SourceProgram
 from repro.lang.stream import Stream
 from repro.lang.variables import IndexedVariable
 from repro.symbolic.affine import Affine
+from repro.symbolic.minmax import Bound, bound_args, extremum
 from repro.util.errors import SourceProgramError
 
 _TOKEN_RE = re.compile(
@@ -144,6 +145,35 @@ def parse_affine(text: str) -> Affine:
     if not ts.at_end():
         raise SourceProgramError(f"trailing tokens in affine expression {text!r}")
     return e
+
+
+def _parse_bound(ts: _TokenStream, expected_kind: str, what: str) -> Bound:
+    """Parse a loop/variable bound: an affine sum or ``min``/``max`` form.
+
+    ``expected_kind`` is ``"max"`` for lower bounds and ``"min"`` for
+    upper bounds; the other kind is a :class:`SourceProgramError` (it
+    would make the bound's membership test disjunctive, which the scheme
+    does not admit).
+    """
+    tok = ts.peek()
+    if tok in ("min", "max") and ts.tokens[ts.pos + 1 : ts.pos + 2] == ["("]:
+        kind = ts.next()
+        if kind != expected_kind:
+            raise SourceProgramError(
+                f"{what} may use {expected_kind}(...), not {kind}(...)"
+            )
+        ts.expect("(")
+        args = [_parse_affine_sum(ts)]
+        while ts.peek() == ",":
+            ts.next()
+            args.append(_parse_affine_sum(ts))
+        ts.expect(")")
+        if len(args) < 2:
+            raise SourceProgramError(
+                f"{what}: {kind}() needs at least two arguments"
+            )
+        return extremum(kind, args)
+    return _parse_affine_sum(ts)
 
 
 # ----------------------------------------------------------------------
@@ -289,11 +319,11 @@ def _parse_var_decls(ts: _TokenStream) -> list[IndexedVariable]:
         if not name.isidentifier():
             raise SourceProgramError(f"bad variable name {name!r}")
         ts.expect("[")
-        bounds: list[tuple[Affine, Affine]] = []
+        bounds: list[tuple[Bound, Bound]] = []
         while True:
-            lo = _parse_affine_sum(ts)
+            lo = _parse_bound(ts, "max", f"{name}: lower bound")
             ts.expect("..")
-            hi = _parse_affine_sum(ts)
+            hi = _parse_bound(ts, "min", f"{name}: upper bound")
             bounds.append((lo, hi))
             if ts.peek() == ",":
                 ts.next()
@@ -310,10 +340,18 @@ def _parse_var_decls(ts: _TokenStream) -> list[IndexedVariable]:
     return out
 
 
-def _parse_loop(ts: _TokenStream) -> Loop:
+def _parse_loop(
+    ts: _TokenStream, sizes: Sequence[str], enclosing: Sequence[str]
+) -> Loop:
     index = ts.next()
+    if index in sizes:
+        raise SourceProgramError(
+            f"loop index {index!r} shadows a size symbol of the same name"
+        )
+    if index in enclosing:
+        raise SourceProgramError(f"duplicate loop index {index!r}")
     ts.expect("=")
-    lower = _parse_affine_sum(ts)
+    lower = _parse_bound(ts, "max", f"loop {index}: left bound")
     ts.expect("<-")
     step_sign = 1
     if ts.peek() == "-":
@@ -323,9 +361,19 @@ def _parse_loop(ts: _TokenStream) -> Loop:
     if step_tok != "1":
         raise SourceProgramError(f"loop step must be 1 or -1, got {step_tok!r}")
     ts.expect("->")
-    upper = _parse_affine_sum(ts)
+    upper = _parse_bound(ts, "min", f"loop {index}: right bound")
     if not ts.at_end():
         raise SourceProgramError("trailing tokens after loop header")
+    indices = set(enclosing) | {index}
+    for what, bound in (("left", lower), ("right", upper)):
+        for piece in bound_args(bound):
+            used = piece.free_symbols & indices
+            if used:
+                raise SourceProgramError(
+                    f"loop {index}: {what} bound {bound} uses loop "
+                    f"indices {sorted(used)}; bounds must be affine in the "
+                    "size symbols only"
+                )
     return Loop(index, lower, upper, step_sign)
 
 
@@ -354,6 +402,8 @@ def parse_program(text: str) -> SourceProgram:
                 sym = ts.next()
                 if not sym.isidentifier():
                     raise SourceProgramError(f"bad size symbol {sym!r}")
+                if sym in sizes:
+                    raise SourceProgramError(f"duplicate size declaration {sym!r}")
                 sizes.append(sym)
                 if ts.peek() == ",":
                     ts.next()
@@ -367,7 +417,7 @@ def parse_program(text: str) -> SourceProgram:
             if branches:
                 raise SourceProgramError("loop header after body statements")
             ts.next()
-            loops.append(_parse_loop(ts))
+            loops.append(_parse_loop(ts, sizes, [lp.index for lp in loops]))
         else:
             if not loops:
                 raise SourceProgramError(f"statement before any loop: {line!r}")

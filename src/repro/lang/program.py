@@ -19,16 +19,22 @@ from repro.lang.expr import Body
 from repro.lang.stream import Stream
 from repro.lang.variables import IndexedVariable
 from repro.symbolic.affine import Affine, AffineLike, Numeric
+from repro.symbolic.minmax import Bound, BoundLike, as_bound, check_bound_kind
 from repro.util.errors import RequirementViolation, SourceProgramError
 
 
 @dataclass(frozen=True)
 class Loop:
-    """``for x = lb <- st -> rb`` with ``st`` in ``{-1, +1}``."""
+    """``for x = lb <- st -> rb`` with ``st`` in ``{-1, +1}``.
+
+    Bounds may be plain affine expressions or :class:`Extremum` forms,
+    restricted to ``max`` on the left bound and ``min`` on the right so
+    that membership ``lb <= x <= rb`` is always a conjunction.
+    """
 
     index: str
-    lower: Affine
-    upper: Affine
+    lower: Bound
+    upper: Bound
     step: int = 1
 
     def __post_init__(self) -> None:
@@ -38,10 +44,12 @@ class Loop:
             raise RequirementViolation(
                 f"loop {self.index}: step must be -1 or +1, got {self.step}"
             )
+        check_bound_kind(self.lower, "max", f"loop {self.index}: left bound")
+        check_bound_kind(self.upper, "min", f"loop {self.index}: right bound")
 
     @staticmethod
-    def of(index: str, lower: AffineLike, upper: AffineLike, step: int = 1) -> "Loop":
-        return Loop(index, Affine.lift(lower), Affine.lift(upper), step)
+    def of(index: str, lower: BoundLike, upper: BoundLike, step: int = 1) -> "Loop":
+        return Loop(index, as_bound(lower), as_bound(upper), step)
 
     def iteration_values(self, env: Mapping[str, Numeric]) -> range:
         """Concrete iteration sequence in *execution* order."""

@@ -11,7 +11,8 @@ A.1  r > 0 (we require r >= 2, since index maps must be (r-1) x r with
      rank r-1, which forces r >= 2 for non-trivial streams);
 A.1  loop steps in {-1, +1} (enforced structurally by :class:`Loop`);
 A.1  every index map is (r-1) x r with rank r-1;
-A.2  loop bounds affine in the problem size (structural: they are Affine);
+A.2  loop bounds affine (or min/max of affines) in the problem size,
+     never in the loop indices (checked here: the index space is a box);
 A.2  each indexed variable is (r-1)-dimensional;
 A.2  index vectors contain no constants (structural for parsed programs;
      re-checked here for programmatically built ones);
@@ -26,6 +27,7 @@ from typing import Mapping, Sequence
 
 from repro.lang.program import SourceProgram
 from repro.symbolic.affine import Numeric
+from repro.symbolic.minmax import bound_args
 from repro.util.errors import RequirementViolation, RestrictionViolation
 
 
@@ -48,6 +50,30 @@ def validate_program(
 
     if not program.streams:
         raise RestrictionViolation("program accesses no streams")
+
+    # A.2: loop/variable bounds are affine in the *size symbols*.  A loop
+    # index leaking into a bound used to be folded silently into the
+    # sample-size binding below (masquerading as a size symbol bound to
+    # 3); reject it loudly instead -- the index space must be a box.
+    indices = set(program.indices)
+    for lp in program.loops:
+        for which, bound in (("left", lp.lower), ("right", lp.upper)):
+            used = frozenset().union(
+                *(piece.free_symbols for piece in bound_args(bound))
+            ) & indices
+            if used:
+                raise RestrictionViolation(
+                    f"loop {lp.index}: {which} bound {bound} uses loop "
+                    f"indices {sorted(used)}; bounds must be affine in the "
+                    "size symbols only"
+                )
+    for v in program.variables:
+        used = v.size_symbols & indices
+        if used:
+            raise RestrictionViolation(
+                f"variable {v.name}: bounds use loop indices {sorted(used)}; "
+                "variable spaces must be parameterised by size symbols only"
+            )
 
     for s in program.streams:
         s.check_rank()  # (r-1) x r with rank r-1

@@ -13,7 +13,8 @@ from typing import Mapping
 
 from repro.geometry.point import Point
 from repro.geometry.rectangle import Rectangle
-from repro.symbolic.affine import Affine, AffineLike, Numeric
+from repro.symbolic.affine import Numeric
+from repro.symbolic.minmax import Bound, BoundLike, as_bound, check_bound_kind
 from repro.util.errors import SourceProgramError
 
 
@@ -21,24 +22,28 @@ from repro.util.errors import SourceProgramError
 class IndexedVariable:
     """A declared indexed variable, e.g. ``int c[0..2*n]``.
 
-    ``bounds`` holds one ``(lower, upper)`` pair of affine expressions per
-    dimension; both bounds are inclusive.
+    ``bounds`` holds one ``(lower, upper)`` pair per dimension; both
+    bounds are inclusive.  As for loops, a lower bound may be a ``max``
+    form and an upper bound a ``min`` form of affine expressions.
     """
 
     name: str
-    bounds: tuple[tuple[Affine, Affine], ...]
+    bounds: tuple[tuple[Bound, Bound], ...]
 
     def __post_init__(self) -> None:
         if not self.name or not self.name.isidentifier():
             raise SourceProgramError(f"bad variable name {self.name!r}")
         if not self.bounds:
             raise SourceProgramError(f"variable {self.name} needs >= 1 dimension")
+        for axis, (lo, hi) in enumerate(self.bounds):
+            check_bound_kind(lo, "max", f"variable {self.name} dim {axis}: lower bound")
+            check_bound_kind(hi, "min", f"variable {self.name} dim {axis}: upper bound")
 
     @staticmethod
-    def of(name: str, *bounds: tuple[AffineLike, AffineLike]) -> "IndexedVariable":
+    def of(name: str, *bounds: tuple[BoundLike, BoundLike]) -> "IndexedVariable":
         return IndexedVariable(
             name,
-            tuple((Affine.lift(lo), Affine.lift(hi)) for lo, hi in bounds),
+            tuple((as_bound(lo), as_bound(hi)) for lo, hi in bounds),
         )
 
     @property
@@ -52,10 +57,10 @@ class IndexedVariable:
             out |= lo.free_symbols | hi.free_symbols
         return out
 
-    def lower(self, axis: int) -> Affine:
+    def lower(self, axis: int) -> Bound:
         return self.bounds[axis][0]
 
-    def upper(self, axis: int) -> Affine:
+    def upper(self, axis: int) -> Bound:
         return self.bounds[axis][1]
 
     def space(self, env: Mapping[str, Numeric]) -> Rectangle:

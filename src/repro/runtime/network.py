@@ -308,11 +308,24 @@ class _NetworkBuilder:
                 for _ in range(drain):  # loading passes = drain (Sect. 6.5)
                     value = yield Recv(in_ch[p.name])
                     yield Send(out_ch[p.name], value)
-            for p in moving:
-                soak, _ = amounts[p.name]
-                for _ in range(soak):
-                    value = yield Recv(in_ch[p.name])
-                    yield Send(out_ch[p.name], value)
+            # Soak passes are interleaved round-robin across the moving
+            # streams (one element per stream per round, in declaration
+            # order) rather than one stream at a time.  With bounded
+            # channels, a node that insists on finishing stream A's soak
+            # can deadlock against a neighbour that is blocked mid-way
+            # through stream B: the neighbour's repeater (which emits one
+            # element of *every* stream per statement) never runs, so A's
+            # supply dries up.  Round-robin keeps every node's demand
+            # aligned with the one-per-stream-per-tick order in which the
+            # repeaters upstream produce.  Per-stream FIFO order -- and
+            # hence every computed value -- is unchanged.
+            soak_left = {p.name: amounts[p.name][0] for p in moving}
+            while any(soak_left.values()):
+                for p in moving:
+                    if soak_left[p.name]:
+                        soak_left[p.name] -= 1
+                        value = yield Recv(in_ch[p.name])
+                        yield Send(out_ch[p.name], value)
             # -- the repeater: the basic statements of this process ------
             for x in statements:
                 indices = dict(index_base)
@@ -331,11 +344,16 @@ class _NetworkBuilder:
                         [Send(out_ch[p.name], updated[p.name]) for p in moving]
                     )
             # -- post phase: moving drains, then stationary recoveries ---
-            for p in moving:
-                _, drain = amounts[p.name]
-                for _ in range(drain):
-                    value = yield Recv(in_ch[p.name])
-                    yield Send(out_ch[p.name], value)
+            # Drain passes round-robin for the same reason as the soaks:
+            # the node upstream may still be in its repeater, emitting one
+            # element of every stream per statement.
+            drain_left = {p.name: amounts[p.name][1] for p in moving}
+            while any(drain_left.values()):
+                for p in moving:
+                    if drain_left[p.name]:
+                        drain_left[p.name] -= 1
+                        value = yield Recv(in_ch[p.name])
+                        yield Send(out_ch[p.name], value)
             for p in stationary:
                 soak, _ = amounts[p.name]
                 for _ in range(soak):  # recovery passes = soak (Sect. 6.5)

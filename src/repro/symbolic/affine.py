@@ -28,6 +28,17 @@ AffineLike = Union["Affine", int, Fraction]
 
 _ZERO = Fraction(0)
 
+#: Element types :class:`AffineVec` passes through unlifted (and for which
+#: :class:`Affine` arithmetic defers to the reflected operand).  Populated
+#: by :mod:`repro.symbolic.minmax` to break the import cycle.
+_VEC_PASSTHROUGH: tuple[type, ...] = ()
+
+
+def register_vec_passthrough(tp: type) -> None:
+    global _VEC_PASSTHROUGH
+    if tp not in _VEC_PASSTHROUGH:
+        _VEC_PASSTHROUGH = _VEC_PASSTHROUGH + (tp,)
+
 
 def _as_fraction(value: Numeric) -> Fraction:
     # Exact-type fast paths: re-wrapping an existing Fraction goes through
@@ -163,6 +174,8 @@ class Affine:
     # arithmetic
     # ------------------------------------------------------------------
     def __add__(self, other: AffineLike) -> "Affine":
+        if isinstance(other, _VEC_PASSTHROUGH):
+            return NotImplemented  # defer to Extremum.__radd__
         o = Affine.lift(other)
         coeffs = dict(self.coeffs)
         for sym, c in o.coeffs.items():
@@ -173,6 +186,8 @@ class Affine:
     __radd__ = __add__
 
     def __sub__(self, other: AffineLike) -> "Affine":
+        if isinstance(other, _VEC_PASSTHROUGH):
+            return NotImplemented  # defer to Extremum.__rsub__
         o = Affine.lift(other)
         coeffs = dict(self.coeffs)
         for sym, c in o.coeffs.items():
@@ -189,6 +204,8 @@ class Affine:
         )
 
     def __mul__(self, other: AffineLike) -> "Affine":
+        if isinstance(other, _VEC_PASSTHROUGH):
+            return NotImplemented  # defer to Extremum.__rmul__
         o = Affine.lift(other)
         if o.is_constant:
             k = o.const
@@ -296,7 +313,13 @@ class AffineVec(tuple):
     __slots__ = ()
 
     def __new__(cls, items: Iterable[AffineLike]) -> "AffineVec":
-        return super().__new__(cls, (Affine.lift(x) for x in items))
+        return super().__new__(
+            cls,
+            (
+                x if isinstance(x, _VEC_PASSTHROUGH) else Affine.lift(x)
+                for x in items
+            ),
+        )
 
     @staticmethod
     def of(*items: AffineLike) -> "AffineVec":

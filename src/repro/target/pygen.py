@@ -41,6 +41,7 @@ from repro.lang.expr import Affine, BinOp, Body, Const, IndexExpr, StreamRead
 from repro.lang.interpreter import initial_state
 from repro.symbolic.affine import AffineVec
 from repro.symbolic.compile import guard_chain_lines, render_affine, render_guard
+from repro.symbolic.minmax import render_bound
 from repro.symbolic.piecewise import Piecewise
 from repro.util.errors import CompilationError
 
@@ -71,6 +72,11 @@ class _PyRenderer:
 
     def affine(self, a: Affine) -> str:
         return render_affine(a, self.num)
+
+    def bound(self, b) -> str:
+        # Plain affines render exactly as before; extremum bounds become
+        # the min()/max() builtins, so the module needs no extra runtime.
+        return render_bound(b, self.affine)
 
     def guard(self, guard) -> str:
         return render_guard(guard, self.num)
@@ -138,10 +144,10 @@ def render_python(sp: SystolicProgram) -> str:
     body.append(f"INCREMENT = {tuple(int(c) for c in sp.increment)!r}")
     body.append("")
     body.append("def _ps_min(env):")
-    body.append("    return (" + ", ".join(r.affine(a) for a in sp.ps_min) + ",)")
+    body.append("    return (" + ", ".join(r.bound(a) for a in sp.ps_min) + ",)")
     body.append("")
     body.append("def _ps_max(env):")
-    body.append("    return (" + ", ".join(r.affine(a) for a in sp.ps_max) + ",)")
+    body.append("    return (" + ", ".join(r.bound(a) for a in sp.ps_max) + ",)")
     body.append("")
     body.extend(r.piecewise_fn("_first", sp.first, r.vector_leaf))
     body.append("")

@@ -29,10 +29,26 @@ def test_corpus_is_not_empty():
 @pytest.mark.parametrize(
     "path", corpus_files(CORPUS), ids=lambda p: p.stem
 )
+def test_pin_declares_expectation(path):
+    _, _, raw = load_reproducer(path)
+    expect = raw.get("expect")
+    assert expect in ("pass", "fail"), (
+        f"{path.name}: every pin must declare \"expect\": \"pass\"|\"fail\""
+    )
+    if expect == "fail":
+        assert raw.get("failure", {}).get("checks"), (
+            f"{path.name}: expect-fail pins must record the failing check "
+            "set under failure.checks"
+        )
+
+
+@pytest.mark.parametrize(
+    "path", corpus_files(CORPUS), ids=lambda p: p.stem
+)
 def test_replay(path):
     instance, config, raw = load_reproducer(path)
     report = run_instance(instance, config)
-    if raw.get("expect", "fail") == "pass":
+    if raw.get("expect") == "pass":
         assert report.ok, f"{path.name}: regression pin went red: {report}"
     else:
         expected = set(raw.get("failure", {}).get("checks", []))
@@ -40,8 +56,9 @@ def test_replay(path):
             f"{path.name}: expected-fail reproducer now passes; "
             "flip it to \"expect\": \"pass\""
         )
-        if expected:
-            assert report.failed_checks & expected, (
-                f"{path.name}: fails for a different reason "
-                f"({sorted(report.failed_checks)} vs pinned {sorted(expected)})"
-            )
+        # The pinned failure-kind set is the bug's signature: replay must
+        # fail for exactly the recorded reasons, or the file is stale.
+        assert report.failed_checks == expected, (
+            f"{path.name}: fails differently from its pin "
+            f"({sorted(report.failed_checks)} vs pinned {sorted(expected)})"
+        )

@@ -11,12 +11,16 @@ from __future__ import annotations
 
 import random
 
+import pytest
+
 from repro.fuzz.corpus import instance_from_json, instance_to_json
 from repro.fuzz.generator import (
+    FEATURES,
     FuzzInstance,
     generate_design,
     generate_instance,
     generate_program,
+    program_features,
     program_size_symbols,
     variable_bounds_for,
 )
@@ -35,10 +39,18 @@ class TestGeneratorValidity:
             program = generate_program(random.Random(seed))
             validate_program(program)
 
-    def test_written_stream_is_always_c(self):
+    def test_written_streams_include_c(self):
+        # "c" is always the accumulated output; multi-assignment branches
+        # may additionally write one of the read streams.
+        saw_multi_write = False
         for seed in SEED_RANGE:
             program = generate_program(random.Random(seed))
-            assert program.body.streams_written() == {"c"}
+            written = program.body.streams_written()
+            assert "c" in written
+            assert written <= {s.name for s in program.streams}
+            if len(written) > 1:
+                saw_multi_write = True
+        assert saw_multi_write, "no seed exercised multi-assignment branches"
 
     def test_rank_and_shape_of_index_maps(self):
         for seed in SEED_RANGE:
@@ -85,6 +97,45 @@ class TestGeneratorDeterminism:
             assert a.step.rows == b.step.rows
             assert a.place.rows == b.place.rows
             assert a.loading_vectors == b.loading_vectors
+
+
+class TestFeatureStrata:
+    def test_tags_are_well_known(self):
+        for seed in SEED_RANGE:
+            program = generate_program(random.Random(seed))
+            tags = program_features(program)
+            assert tags <= set(FEATURES)
+            # all_negative implies negative_step
+            if "all_negative" in tags:
+                assert "negative_step" in tags
+
+    def test_every_feature_is_reachable(self):
+        seen: set[str] = set()
+        for seed in SEED_RANGE:
+            seen |= program_features(generate_program(random.Random(seed)))
+        assert seen == set(FEATURES)
+
+    @pytest.mark.parametrize("feature", FEATURES)
+    def test_restricted_generation_carries_the_tag(self, feature):
+        found = 0
+        for seed in range(30):
+            inst = generate_instance(seed, feature=feature)
+            if inst is None:
+                continue
+            found += 1
+            assert feature in program_features(inst.program)
+        assert found >= 10, f"stratum {feature} starved"
+
+    def test_restricted_generation_is_deterministic(self):
+        a = generate_instance(4, feature="negative_step")
+        b = generate_instance(4, feature="negative_step")
+        assert (a is None) == (b is None)
+        if a is not None:
+            assert instance_to_json(a) == instance_to_json(b)
+
+    def test_unknown_feature_rejected(self):
+        with pytest.raises(ValueError, match="feature"):
+            generate_instance(0, feature="exotic")
 
 
 class TestVariableBounds:

@@ -128,6 +128,41 @@ class TestShrinker:
         replayed = run_instance(loaded, loaded_config)
         assert replayed.failed_checks & report.failed_checks
 
+    def test_shrinks_planted_map_shear_to_tiny(self):
+        # The acceptance bar for index-map shrinking: a planted index-map
+        # corruption must come out at <= 2 loops and <= 2 streams.
+        config = HarnessConfig(mutate="map_shear")
+        instance = _skip_if_unschedulable(generate_instance(0))
+        original = run_instance(instance, config)
+        assert not original.ok
+
+        shrunk, report = shrink_instance(instance, config)
+        assert shrunk.program.r <= 2
+        assert len(shrunk.program.streams) <= 2
+        assert report.failed_checks & original.failed_checks
+
+    def test_bound_variants_collapse_extrema(self):
+        from repro.fuzz.shrink import _bound_variants
+        from repro.lang.program import Loop
+        from repro.symbolic.affine import Affine
+        from repro.symbolic.minmax import extremum
+
+        n, m = Affine.var("n"), Affine.var("m")
+        lp = Loop.of(
+            "i",
+            extremum("max", (Affine.constant(0), n - m)),
+            extremum("min", (n, m + 1)),
+            -1,
+        )
+        variants = list(_bound_variants(lp))
+        # one step flip + one per upper argument + one per lower argument
+        assert len(variants) == 5
+        assert any(v.step == 1 for v in variants)
+        uppers = {str(v.upper) for v in variants if v.step == lp.step}
+        lowers = {str(v.lower) for v in variants if v.step == lp.step}
+        assert {"n", "m + 1"} <= uppers
+        assert {"0", "-m + n"} <= lowers
+
     def test_reproducer_filename_is_content_addressed(self):
         data = {"source": "p", "design": {"step": [[1]]}, "env": {"n": 2}}
         assert reproducer_name(data) == reproducer_name(dict(data))

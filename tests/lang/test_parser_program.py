@@ -173,9 +173,106 @@ for j = 0 <- 1 -> 5
         with pytest.raises(SourceProgramError):
             parse_program(bad)
 
+    def test_loop_index_shadowing_size_symbol(self):
+        bad = """
+size n
+var a[0..n], c[0..n]
+for n = 0 <- 1 -> 5
+for j = 0 <- 1 -> n
+  c[n] := a[j]
+"""
+        with pytest.raises(SourceProgramError, match="shadow"):
+            parse_program(bad)
+
+    def test_duplicate_size_declaration(self):
+        bad = """
+size n
+size n
+var a[0..n], c[0..n]
+for i = 0 <- 1 -> n
+for j = 0 <- 1 -> n
+  c[i] := a[j]
+"""
+        with pytest.raises(SourceProgramError, match="duplicate"):
+            parse_program(bad)
+
+    def test_duplicate_loop_index(self):
+        bad = """
+size n
+var a[0..n], c[0..n]
+for i = 0 <- 1 -> n
+for i = 0 <- 1 -> n
+  c[i] := a[i]
+"""
+        with pytest.raises(SourceProgramError, match="duplicate"):
+            parse_program(bad)
+
+    def test_loop_bound_using_loop_index(self):
+        bad = """
+size n
+var a[0..n], c[0..n]
+for i = 0 <- 1 -> n
+for j = i <- 1 -> n
+  c[i] := a[j]
+"""
+        with pytest.raises(SourceProgramError, match="loop ind"):
+            parse_program(bad)
+
     def test_comment_and_blank_lines(self):
         text = POLYPROD.replace("size n", "size n  # problem size")
         assert parse_program(text).size_symbols == ("n",)
+
+
+class TestExtremumBounds:
+    def test_min_max_bounds_parse_and_round_trip(self):
+        src = """program clipped
+size m, n
+var a[max(0, m - n)..min(m, n)], c[max(0, m - n)..min(m, n)]
+for i = max(0, m - n) <- 1 -> min(m, n)
+for j = 0 <- 1 -> n
+  c[i] := a[i] + c[i]
+"""
+        p = parse_program(src)
+        again = parse_program(p.to_source())
+        assert again.to_source() == p.to_source()
+        lo, hi = p.loops[0].lower, p.loops[0].upper
+        assert str(lo) == "max(0, m - n)"
+        assert str(hi) == "min(m, n)"
+        assert lo.evaluate_int({"m": 5, "n": 3}) == 2
+        assert hi.evaluate_int({"m": 5, "n": 3}) == 3
+
+    def test_min_as_lower_bound_rejected(self):
+        bad = """
+size m, n
+var a[0..n], c[0..n]
+for i = min(m, n) <- 1 -> n
+for j = 0 <- 1 -> n
+  c[i] := a[j]
+"""
+        with pytest.raises(SourceProgramError, match="max"):
+            parse_program(bad)
+
+    def test_max_as_upper_bound_rejected(self):
+        bad = """
+size m, n
+var a[0..n], c[0..n]
+for i = 0 <- 1 -> max(m, n)
+for j = 0 <- 1 -> n
+  c[i] := a[j]
+"""
+        with pytest.raises(SourceProgramError, match="min"):
+            parse_program(bad)
+
+    def test_extremum_bound_mixing_loop_index_rejected(self):
+        bad = """
+size m, n
+var a[0..n], c[0..n]
+for i = 0 <- 1 -> n
+for j = 0 <- 1 -> min(n, i + 2)
+  c[i] := a[j]
+"""
+        with pytest.raises(SourceProgramError, match="loop ind"):
+            parse_program(bad)
 
 
 class TestLoop:

@@ -1,0 +1,149 @@
+"""The hash-consed extremum layer (``repro.symbolic.minmax``).
+
+The structural restriction -- lower bounds are plain or ``max``-form,
+upper bounds plain or ``min``-form -- is what keeps every membership test
+conjunctive; the tests here pin the normalizing constructor, the exact
+arithmetic closure, and the bound-splitting helpers that the core
+derivations (``firstlast``, ``io_comm``, ``scheme``) rely on.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.symbolic.affine import Affine
+from repro.symbolic.minmax import (
+    Extremum,
+    bound_alternatives,
+    bound_args,
+    bound_le_constraints,
+    check_bound_kind,
+    extremum,
+    lower_bound_constraints,
+    max_of,
+    min_of,
+    upper_bound_constraints,
+)
+from repro.util.errors import SymbolicError
+
+n = Affine.var("n")
+m = Affine.var("m")
+
+
+class TestConstructor:
+    def test_interning_and_equality(self):
+        a = extremum("min", (n, m))
+        b = extremum("min", (m, n))
+        assert a is b  # argument order is canonical
+        assert hash(a) == hash(b)
+
+    def test_singleton_collapses_to_affine(self):
+        assert extremum("min", (n, n)) is n
+        assert isinstance(extremum("max", (n + 0, n)), Affine)
+
+    def test_flattening_same_kind(self):
+        inner = extremum("min", (n, m))
+        outer = extremum("min", (inner, m - n))
+        assert isinstance(outer, Extremum)
+        assert set(map(str, outer.args)) == {"n", "m", "m - n"}
+
+    def test_flattening_folds_dominated_args(self):
+        # n + 1 can never attain a minimum that n does not: it folds away.
+        inner = extremum("min", (n, m))
+        assert extremum("min", (inner, n + 1)) is inner
+
+    def test_cross_kind_nesting_rejected(self):
+        inner = extremum("min", (n, m))
+        with pytest.raises(SymbolicError):
+            extremum("max", (inner, Affine.constant(0)))
+
+    def test_constant_offset_dominance_folds(self):
+        # min(n, n + 2) = n; max(n, n + 2) = n + 2
+        assert extremum("min", (n, n + 2)) is n
+        assert extremum("max", (n, n + 2)) == n + 2
+
+    def test_evaluate(self):
+        e = extremum("min", (n, m))
+        assert e.evaluate_int({"n": 3, "m": 5}) == 3
+        assert extremum("max", (n, m)).evaluate_int({"n": 3, "m": 5}) == 5
+
+    def test_pickle_reinterns(self):
+        e = extremum("max", (n, m - n))
+        assert pickle.loads(pickle.dumps(e)) is e
+
+
+class TestArithmetic:
+    def test_addition_with_affine(self):
+        e = min_of(n, m) + 1
+        assert isinstance(e, Extremum)
+        assert set(map(str, e.args)) == {"n + 1", "m + 1"}
+        assert (1 + min_of(n, m)) is e
+
+    def test_same_kind_addition_is_pairwise(self):
+        # min(a, b) + min(c, d) = min over pairwise sums
+        e = min_of(n, m) + min_of(n + 1, m - 1)
+        assert isinstance(e, Extremum)
+        assert e.kind == "min"
+        assert len(e.args) <= 4
+        for env in ({"n": 2, "m": 7}, {"n": 7, "m": 2}, {"n": 4, "m": 4}):
+            direct = min(env["n"], env["m"]) + min(env["n"] + 1, env["m"] - 1)
+            assert e.evaluate_int(env) == direct
+
+    def test_negation_flips_kind(self):
+        e = -min_of(n, m)
+        assert isinstance(e, Extremum)
+        assert e.kind == "max"
+        assert e.evaluate_int({"n": 3, "m": 5}) == -3
+
+    def test_scaling(self):
+        doubled = min_of(n, m) * 2
+        assert doubled.kind == "min"
+        flipped = min_of(n, m) * -1
+        assert flipped.kind == "max"
+        assert (min_of(n, m) * 0) == Affine.constant(0)
+
+    def test_subtraction(self):
+        e = max_of(n, m) - 1
+        assert e.kind == "max"
+        assert e.evaluate_int({"n": 3, "m": 5}) == 4
+
+    def test_str_is_parseable_form(self):
+        assert str(min_of(n, m)) == "min(m, n)"
+
+
+class TestBoundHelpers:
+    def test_bound_args(self):
+        assert bound_args(n) == (n,)
+        assert set(bound_args(min_of(n, m))) == {n, m}
+
+    def test_check_bound_kind(self):
+        check_bound_kind(n, "min", "upper")
+        check_bound_kind(min_of(n, m), "min", "upper")
+        with pytest.raises(SymbolicError):
+            check_bound_kind(min_of(n, m), "max", "lower")
+
+    def test_conjunctive_constraints(self):
+        e = Affine.var("col")
+        lo = lower_bound_constraints(e, max_of(Affine.constant(0), n - m))
+        hi = upper_bound_constraints(e, min_of(n, m))
+        assert len(lo) == 2 and len(hi) == 2
+        cross = bound_le_constraints(max_of(Affine.constant(0), n - m), min_of(n, m))
+        assert len(cross) == 4
+
+    def test_bound_alternatives_cover_and_agree(self):
+        alts = bound_alternatives(min_of(n, m))
+        assert len(alts) == 2
+        for env in ({"n": 2, "m": 5}, {"n": 5, "m": 2}, {"n": 3, "m": 3}):
+            winners = [
+                value.evaluate_int(env)
+                for sel, value in alts
+                if all(c.evaluate(env) for c in sel)
+            ]
+            assert winners, f"no selector covers {env}"
+            assert all(w == min(env["n"], env["m"]) for w in winners)
+
+    def test_plain_bound_has_single_alternative(self):
+        ((sel, value),) = bound_alternatives(n)
+        assert sel == () and value is n

@@ -13,7 +13,9 @@ Usage:
 
 ``--check`` exits non-zero unless the clean campaign finds nothing AND the
 planted bug is caught and shrunk to a reproducer of at most 2 loops (the
-acceptance bar for the harness + shrinker).
+acceptance bar for the harness + shrinker) AND every generator stratum
+(negative-step, minmax-bound, multi-branch) actually generated instances
+and ran clean.
 """
 from __future__ import annotations
 
@@ -37,6 +39,9 @@ from repro.fuzz import (
 
 SHRINK_SEEDS = (0, 1, 2)
 
+#: feature strata the weekly campaign (and --check) must each cover
+STRATA = ("negative_step", "minmax_bound", "multi_branch")
+
 
 def bench_campaign(seed: int, iterations: int) -> dict:
     summary = fuzz_run(seed=seed, iterations=iterations, shrink=False)
@@ -56,6 +61,28 @@ def bench_campaign(seed: int, iterations: int) -> dict:
         "per_check": per_check,
         "clean": summary.ok,
     }
+
+
+def bench_strata(seed: int, iterations: int) -> list[dict]:
+    """One mini-campaign per feature stratum; proves each is reachable."""
+    rows = []
+    for offset, feature in enumerate(STRATA, start=1):
+        summary = fuzz_run(
+            seed=seed + 1000 * offset,
+            iterations=iterations,
+            shrink=False,
+            feature=feature,
+        )
+        rows.append(
+            {
+                "feature": feature,
+                "campaign": summary.row(),
+                "generated": summary.generated,
+                "tagged": summary.feature_counts.get(feature, 0),
+                "clean": summary.ok,
+            }
+        )
+    return rows
 
 
 def bench_shrink(seed: int) -> dict | None:
@@ -103,6 +130,11 @@ def main(argv=None) -> int:
         print(f"  {name:<16} x{row['runs']:<4} {row['total_s']:8.3f}s total  "
               f"{row['mean_ms']:8.2f}ms mean")
 
+    strata = bench_strata(args.seed, max(5, args.iterations // 4))
+    for row in strata:
+        print(f"stratum {row['feature']:<14} {row['tagged']}/{row['generated']} "
+              f"tagged, {'clean' if row['clean'] else 'FAILURES'}")
+
     shrinks = [s for s in (bench_shrink(s) for s in SHRINK_SEEDS) if s]
     for row in shrinks:
         if row["caught"]:
@@ -116,6 +148,7 @@ def main(argv=None) -> int:
     report = {
         "units": "seconds",
         "campaign": campaign,
+        "strata": strata,
         "shrink_drain_plus_one": shrinks,
     }
     out = pathlib.Path(args.output)
@@ -126,14 +159,18 @@ def main(argv=None) -> int:
         if not campaign["clean"]:
             print("FAIL: clean campaign reported failures", file=sys.stderr)
             return 1
+        thin = [s["feature"] for s in strata if not s["tagged"] or not s["clean"]]
+        if thin:
+            print(f"FAIL: strata empty or not clean: {thin}", file=sys.stderr)
+            return 1
         bad = [s for s in shrinks
                if not s["caught"] or s["shrunk_loops"] > 2]
         if not shrinks or bad:
             print(f"FAIL: planted bug not caught/shrunk to <= 2 loops: {bad}",
                   file=sys.stderr)
             return 1
-        print("check passed: clean campaign; planted bug caught and "
-              "shrunk to <= 2 loops")
+        print("check passed: clean campaign; all strata covered; planted "
+              "bug caught and shrunk to <= 2 loops")
     return 0
 
 
