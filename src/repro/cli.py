@@ -7,6 +7,10 @@ Subcommands
                 (summary, paper notation, occam or C flavour);
 ``verify``      compile, execute on the simulator at given sizes and compare
                 against the sequential oracle;
+``execute``     compile and run on a chosen backend (``sim`` simulator,
+                ``pygen`` rendered Python module, ``npgen`` vectorized
+                NumPy wavefronts) with optional batching, checking results
+                against the oracle unless ``--no-check``;
 ``synthesize``  derive step/place candidates from the dependences and print
                 the design space;
 ``designs``     list the built-in catalogue;
@@ -125,6 +129,62 @@ def cmd_verify(args: argparse.Namespace) -> int:
     for mismatch in report.mismatches[:10]:
         print(" ", mismatch)
     return 0 if report.matched else 1
+
+
+def cmd_execute(args: argparse.Namespace) -> int:
+    import time
+
+    from repro.lang.interpreter import run_sequential
+    from repro.verify.equivalence import random_inputs
+
+    program = parse_program(Path(args.source).read_text())
+    array = load_design(args.design)
+    systolic = compile_systolic(program, array)
+    env = parse_sizes(args.size)
+    batch = [
+        random_inputs(program, env, seed=args.seed + b) for b in range(args.batch)
+    ]
+
+    start = time.perf_counter()
+    if args.backend == "npgen":
+        from repro.target.npgen import execute_numpy_batch
+
+        results = execute_numpy_batch(systolic, env, batch)
+    elif args.backend == "pygen":
+        from repro.target.pygen import execute_python
+
+        results = [execute_python(systolic, env, inputs) for inputs in batch]
+    else:
+        from repro.runtime.network import execute
+
+        results = []
+        for inputs in batch:
+            final, _stats = execute(systolic, env, inputs)
+            results.append(
+                {v: {tuple(p): val for p, val in vals.items()}
+                 for v, vals in final.items()}
+            )
+    elapsed = time.perf_counter() - start
+
+    elements = sum(len(vals) for vals in results[0].values())
+    print(
+        f"execute[{args.backend}] {env}: batch {args.batch}, "
+        f"{elements} elements/run, {elapsed:.3f}s"
+    )
+    if args.no_check:
+        return 0
+    mismatched = 0
+    for inputs, got in zip(batch, results):
+        oracle = run_sequential(program, env, inputs)
+        for var, expected in oracle.items():
+            for element, value in expected.items():
+                if got[var].get(tuple(element)) != value:
+                    mismatched += 1
+    if mismatched:
+        print(f"MISMATCH: {mismatched} element(s) disagree with the oracle")
+        return 1
+    print("oracle check: OK (bit-identical)")
+    return 0
 
 
 def cmd_synthesize(args: argparse.Namespace) -> int:
@@ -296,6 +356,34 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--capacity", type=int, default=1, help="channel capacity")
     p.set_defaults(func=cmd_verify)
+
+    p = sub.add_parser(
+        "execute", help="run a design on a chosen backend, check vs oracle"
+    )
+    p.add_argument("source")
+    p.add_argument("design")
+    p.add_argument(
+        "-s", "--size", action="append", default=[], help="problem size name=value"
+    )
+    p.add_argument(
+        "--backend",
+        choices=["sim", "pygen", "npgen"],
+        default="npgen",
+        help="execution engine (default: npgen, needs the NumPy extra)",
+    )
+    p.add_argument(
+        "--batch",
+        type=int,
+        default=1,
+        help="independent input sets to run (npgen executes them in one pass)",
+    )
+    p.add_argument("--seed", type=int, default=0, help="input value seed")
+    p.add_argument(
+        "--no-check",
+        action="store_true",
+        help="skip the sequential-oracle comparison (timing runs)",
+    )
+    p.set_defaults(func=cmd_execute)
 
     p = sub.add_parser("synthesize", help="derive step/place candidates")
     p.add_argument("source")

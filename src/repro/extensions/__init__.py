@@ -15,16 +15,20 @@ from repro.extensions.pipelining import (
     pipeline_program,
 )
 from repro.extensions.partition import (
+    TileBand,
     block_assignment,
-    round_robin_assignment,
     partitioned_execute,
+    round_robin_assignment,
+    wavefront_tile_bands,
 )
 
 __all__ = [
     "PipelinedProgram",
     "LiftedStream",
     "pipeline_program",
+    "TileBand",
     "block_assignment",
     "round_robin_assignment",
     "partitioned_execute",
+    "wavefront_tile_bands",
 ]

@@ -15,10 +15,19 @@ exactly while keeping communication semantics unchanged:
 Two standard assignment shapes are provided: **block** (contiguous tiles of
 the process space, LSGP-style: good locality, preserves the pipeline) and
 **round-robin** (LPGS-style interleaving).
+
+:func:`wavefront_tile_bands` connects the block fold to the vectorized
+wavefront schedule (:mod:`repro.analysis.wavefront`): it cuts the leading
+place coordinate into the same contiguous bands a block assignment would
+use and reports, per logical time step, which bands are active and how
+many basic statements each executes -- the per-band activity masks a
+banded (LSGP) execution of the npgen backend would iterate over, and a
+direct load-balance picture of the fold.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Callable, Mapping
 
 from repro.core.program import SystolicProgram
@@ -70,6 +79,83 @@ def block_assignment(names: list[str], workers: int) -> dict[str, int]:
     per_block = max(1, (len(keyed) + workers - 1) // workers)
     for i, name in enumerate(keyed):
         out[name] = min(workers - 1, i // per_block)
+    return out
+
+
+@dataclass(frozen=True)
+class TileBand:
+    """One contiguous band of the leading place coordinate.
+
+    ``active_steps[s]`` says whether any cell of the band executes a basic
+    statement at wavefront step ``s`` of the schedule; ``work[s]`` counts
+    how many do.  Together the bands tile the whole process space, so for
+    every step the band works sum to the wavefront's width.
+    """
+
+    index: int
+    lo: int
+    hi: int  # inclusive
+    active_steps: tuple[bool, ...]
+    work: tuple[int, ...]
+
+    @property
+    def total_work(self) -> int:
+        return sum(self.work)
+
+    @property
+    def busy_steps(self) -> int:
+        return sum(1 for a in self.active_steps if a)
+
+    def __str__(self) -> str:
+        return (
+            f"band {self.index} [{self.lo}, {self.hi}]: "
+            f"{self.total_work} statements over {self.busy_steps}/"
+            f"{len(self.active_steps)} steps"
+        )
+
+
+def wavefront_tile_bands(
+    sp: SystolicProgram, env: Mapping[str, Numeric], bands: int
+) -> list[TileBand]:
+    """Describe a block fold of the process space by wavefront activity.
+
+    Cuts the range of the leading place coordinate into ``bands``
+    near-equal contiguous intervals (the slabs of
+    :func:`block_assignment`) and, from the cached wavefront schedule,
+    derives each band's per-step activity mask and statement counts.
+    """
+    from repro.analysis.wavefront import wavefront_schedule
+
+    if bands < 1:
+        raise RuntimeSimulationError("need at least one band")
+    schedule = wavefront_schedule(sp, env)
+    lead = [step.cells[0] for step in schedule.steps]
+    lo = int(min(c.min() for c in lead))
+    hi = int(max(c.max() for c in lead))
+    span = hi - lo + 1
+    bands = min(bands, span)
+    # equal partition of the integer interval: the first span % bands
+    # bands get one extra cell column
+    q, r = divmod(span, bands)
+    edges = [lo]
+    for k in range(bands):
+        edges.append(edges[-1] + q + (1 if k < r else 0))
+
+    out = []
+    for k in range(bands):
+        b_lo, b_hi = edges[k], edges[k + 1] - 1
+        work = tuple(
+            int(((c >= b_lo) & (c <= b_hi)).sum()) for c in lead
+        )
+        out.append(
+            TileBand(
+                index=k,
+                lo=b_lo,
+                hi=b_hi,
+                active_steps=tuple(w > 0 for w in work),
+                work=work,
+            )
+        )
     return out
 
 

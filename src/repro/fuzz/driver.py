@@ -30,6 +30,8 @@ SEED_STRIDE = 1_000_003
 THREADED_EVERY = 7
 CAPACITY_EVERY = 5
 POOL_EVERY = 25
+#: npgen is cheap (one vectorized pass) but needs the optional NumPy extra
+NPGEN_EVERY = 3
 
 
 @dataclass
@@ -98,6 +100,8 @@ def iteration_config(base: HarnessConfig, iteration: int) -> HarnessConfig:
         check_capacity=base.check_capacity
         or iteration % CAPACITY_EVERY == CAPACITY_EVERY - 1,
         check_pool=base.check_pool or iteration % POOL_EVERY == POOL_EVERY - 1,
+        check_npgen=base.check_npgen
+        or iteration % NPGEN_EVERY == NPGEN_EVERY - 1,
     )
 
 

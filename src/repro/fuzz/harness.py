@@ -170,6 +170,10 @@ class HarnessConfig:
     mutate: str | None = None
     #: run the generated module's threads-plus-bounded-queues engine too
     check_threaded: bool = False
+    #: run the vectorized NumPy wavefront backend too (skipped silently
+    #: when NumPy is missing; designs outside its integer value domain
+    #: are a pass, not a failure)
+    check_npgen: bool = False
     #: re-run the simulator with channel capacity 3 (capacity invariance)
     check_capacity: bool = False
     #: full pool-vs-serial ``sweep_designs`` comparison (expensive)
@@ -307,6 +311,22 @@ def run_instance(instance, config: HarnessConfig | None = None) -> InstanceRepor
             raise AssertionError("; ".join(rep.errors[:limit]))
 
     checked("cross_check", check_enumerative)
+
+    if config.check_npgen:
+        from repro.target.npgen import HAVE_NUMPY, execute_numpy
+        from repro.util.errors import BackendUnsupportedError
+
+        def check_npgen():
+            try:
+                got = execute_numpy(sp, env, inputs, use_cache=False)
+            except BackendUnsupportedError:
+                return  # outside the integer value domain: a pass, not a bug
+            mism = _compare_state(oracle, got, tuple_keys=True, limit=limit)
+            if mism:
+                raise AssertionError("; ".join(mism))
+
+        if HAVE_NUMPY:
+            checked("npgen", check_npgen)
 
     # -- metamorphic invariants -----------------------------------------
     rendered = render_python(sp)

@@ -26,8 +26,9 @@ matching alternative raises the same message as the interpretive walk.
 
 from __future__ import annotations
 
+import math
 from fractions import Fraction
-from typing import Callable, Sequence
+from typing import Callable, Mapping, Sequence
 
 from repro.geometry.point import Point
 from repro.symbolic.affine import Affine, AffineVec
@@ -41,6 +42,8 @@ __all__ = [
     "compile_guard",
     "compile_piecewise",
     "compile_any_case",
+    "lower_affine_int",
+    "lower_affine_rows_int",
 ]
 
 _COMPILE_STATS = counter("compile_forms")
@@ -131,6 +134,65 @@ def _is_piecewise(value) -> bool:
     from repro.symbolic.piecewise import Piecewise
 
     return isinstance(value, Piecewise)
+
+
+# ----------------------------------------------------------------------
+# integer-array lowering (the vectorized wavefront backend)
+# ----------------------------------------------------------------------
+def lower_affine_int(
+    a: Affine, order: Sequence[str], env: Mapping[str, object]
+) -> tuple[tuple[int, ...], int, int]:
+    """Lower ``a`` to integer dot-product form over the axes in ``order``.
+
+    Returns ``(coeffs, const, den)`` such that for any integer point ``x``
+    bound to the ``order`` symbols,
+
+        ``a(x) == (sum_i coeffs[i] * x[i] + const) / den``   (exactly).
+
+    Symbols not in ``order`` are substituted from ``env`` (raising
+    :class:`SymbolicError` when unbound, like :meth:`Affine.evaluate`);
+    ``den >= 1`` is the least common denominator, so a purely integral
+    affine always lowers with ``den == 1``.  This is the bridge from the
+    hash-consed symbolic layer to whole-array integer evaluation: a
+    backend computes ``coeffs @ X + const`` over an ``(r, N)`` coordinate
+    matrix ``X`` instead of evaluating the affine point by point.
+    """
+    pos = {sym: i for i, sym in enumerate(order)}
+    coeffs = [_ZERO_FR] * len(order)
+    const = Fraction(a.const)
+    for sym, c in a.coeffs.items():
+        i = pos.get(sym)
+        if i is not None:
+            coeffs[i] = Fraction(c)
+        elif sym in env:
+            const += Fraction(c) * Fraction(env[sym])
+        else:
+            raise SymbolicError(
+                f"unbound symbol {sym!r} lowering {a} over axes {tuple(order)}"
+            )
+    den = const.denominator
+    for c in coeffs:
+        den = den * c.denominator // math.gcd(den, c.denominator)
+    return (
+        tuple(int(c * den) for c in coeffs),
+        int(const * den),
+        den,
+    )
+
+
+def lower_affine_rows_int(
+    rows: Sequence[Affine], order: Sequence[str], env: Mapping[str, object]
+) -> tuple[tuple[tuple[int, ...], ...], tuple[int, ...], tuple[int, ...]]:
+    """:func:`lower_affine_int` over several affines with one shared order."""
+    lowered = [lower_affine_int(a, order, env) for a in rows]
+    return (
+        tuple(c for c, _k, _d in lowered),
+        tuple(k for _c, k, _d in lowered),
+        tuple(d for _c, _k, d in lowered),
+    )
+
+
+_ZERO_FR = Fraction(0)
 
 
 # ----------------------------------------------------------------------

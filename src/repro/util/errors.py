@@ -73,3 +73,17 @@ class DeadlockError(RuntimeSimulationError):
 
 class VerificationError(ReproError):
     """A generated program disagreed with the sequential oracle."""
+
+
+class MissingDependencyError(ReproError):
+    """An optional third-party dependency is required but not installed."""
+
+
+class BackendUnsupportedError(CompilationError):
+    """A backend cannot execute this particular program/design.
+
+    Raised by backends with a restricted value domain (e.g. the vectorized
+    NumPy backend, which lowers to machine integers) when the program needs
+    something outside it, such as fractional coefficients.  Callers that
+    have a slower general backend available should fall back to it.
+    """

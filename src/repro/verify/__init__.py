@@ -7,11 +7,17 @@ version of the paper's hand-checked transputer runs.
 executable checks over a concrete design and problem size.
 """
 
-from repro.verify.equivalence import VerificationReport, verify_design, random_inputs
+from repro.verify.equivalence import (
+    BACKENDS,
+    VerificationReport,
+    random_inputs,
+    verify_design,
+)
 from repro.verify.theorems import check_all_theorems, THEOREM_CHECKS
 from repro.verify.enumerative import CrossCheckReport, cross_check
 
 __all__ = [
+    "BACKENDS",
     "VerificationReport",
     "verify_design",
     "random_inputs",

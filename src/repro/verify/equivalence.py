@@ -52,22 +52,51 @@ def random_inputs(
     return inputs
 
 
+#: Execution engines verify_design can drive (simulator is the default).
+BACKENDS = ("sim", "pygen", "npgen")
+
+
 @dataclass
 class VerificationReport:
     """Outcome of one verified execution."""
 
     env: dict
     matched: bool
-    stats: SchedulerStats
+    stats: SchedulerStats | None
     mismatches: list[str] = field(default_factory=list)
+    backend: str = "sim"
 
     def __str__(self) -> str:
         status = "OK" if self.matched else f"MISMATCH ({len(self.mismatches)})"
+        if self.stats is None:
+            return f"verify[{self.backend}] {self.env}: {status}"
         return (
             f"verify {self.env}: {status}, makespan {self.stats.makespan}, "
             f"{self.stats.total_messages} messages, "
             f"{self.stats.process_count} processes"
         )
+
+
+def _execute_backend(backend, sp, env, inputs, channel_capacity):
+    """Run one engine; returns (tuple-keyed final contents, stats or None)."""
+    if backend == "sim":
+        final, stats = execute(sp, env, inputs, channel_capacity=channel_capacity)
+        return (
+            {v: {tuple(p): val for p, val in vals.items()}
+             for v, vals in final.items()},
+            stats,
+        )
+    if backend == "pygen":
+        from repro.target.pygen import execute_python
+
+        return execute_python(sp, env, inputs), None
+    if backend == "npgen":
+        from repro.target.npgen import execute_numpy
+
+        return execute_numpy(sp, env, inputs), None
+    raise VerificationError(
+        f"unknown backend {backend!r}; expected one of {BACKENDS}"
+    )
 
 
 def verify_design(
@@ -80,23 +109,35 @@ def verify_design(
     channel_capacity: int = 1,
     seed: int = 0,
     raise_on_mismatch: bool = True,
+    backend: str = "sim",
 ) -> VerificationReport:
-    """Compile (unless given), execute and compare against the oracle."""
+    """Compile (unless given), execute on ``backend`` and compare vs oracle.
+
+    ``backend`` selects the execution engine: ``"sim"`` (the coroutine
+    process-network simulator, with scheduler stats), ``"pygen"`` (the
+    rendered standalone Python module) or ``"npgen"`` (the vectorized
+    NumPy wavefront backend; requires the optional NumPy extra).
+    """
     sp = compiled if compiled is not None else compile_systolic(program, array)
     if inputs is None:
         inputs = random_inputs(program, env, seed=seed)
-    final, stats = execute(sp, env, inputs, channel_capacity=channel_capacity)
+    final, stats = _execute_backend(backend, sp, env, inputs, channel_capacity)
     oracle = run_sequential(program, env, inputs)
     mismatches: list[str] = []
     for var, expected in oracle.items():
         got = final[var]
         for element, value in expected.items():
-            if got.get(element) != value:
+            if got.get(tuple(element)) != value:
                 mismatches.append(
-                    f"{var}{element}: systolic {got.get(element)}, oracle {value}"
+                    f"{var}{element}: systolic {got.get(tuple(element))}, "
+                    f"oracle {value}"
                 )
     report = VerificationReport(
-        env=dict(env), matched=not mismatches, stats=stats, mismatches=mismatches
+        env=dict(env),
+        matched=not mismatches,
+        stats=stats,
+        mismatches=mismatches,
+        backend=backend,
     )
     if mismatches and raise_on_mismatch:
         preview = "; ".join(mismatches[:5])

@@ -1,0 +1,74 @@
+"""Tile bands over the wavefront schedule (block-fold activity masks)."""
+
+import pytest
+
+from repro import compile_systolic
+from repro.extensions import TileBand, wavefront_tile_bands
+from repro.systolic import all_paper_designs
+from repro.util.errors import RuntimeSimulationError
+
+numpy = pytest.importorskip("numpy")
+
+DESIGNS = {e: (p, a) for e, p, a in all_paper_designs()}
+
+
+def compiled(exp_id):
+    prog, arr = DESIGNS[exp_id]
+    return compile_systolic(prog, arr)
+
+
+class TestWavefrontTileBands:
+    @pytest.mark.parametrize("exp_id", sorted(DESIGNS))
+    @pytest.mark.parametrize("bands", [1, 2, 3])
+    def test_bands_tile_the_schedule(self, exp_id, bands):
+        """Bands are contiguous, disjoint, and account for every statement."""
+        sp = compiled(exp_id)
+        env = {"n": 4}
+        tiles = wavefront_tile_bands(sp, env, bands)
+        assert 1 <= len(tiles) <= bands
+        # contiguous and disjoint along the leading coordinate
+        for a, b in zip(tiles, tiles[1:]):
+            assert b.lo == a.hi + 1
+        # per step, band works sum to the wavefront width
+        from repro.analysis.wavefront import wavefront_schedule
+
+        schedule = wavefront_schedule(sp, env)
+        for s, step in enumerate(schedule.steps):
+            assert sum(t.work[s] for t in tiles) == step.width
+        # masks agree with counts
+        for t in tiles:
+            assert len(t.active_steps) == schedule.n_steps
+            assert all((w > 0) == a for w, a in zip(t.work, t.active_steps))
+        # all statements accounted for exactly once
+        assert sum(t.total_work for t in tiles) == schedule.total_points
+
+    def test_single_band_is_the_whole_schedule(self):
+        sp = compiled("D1")
+        (tile,) = wavefront_tile_bands(sp, {"n": 4}, 1)
+        from repro.analysis.wavefront import wavefront_schedule
+
+        schedule = wavefront_schedule(sp, {"n": 4})
+        assert tile.work == tuple(s.width for s in schedule.steps)
+        assert all(tile.active_steps)
+        assert tile.busy_steps == schedule.n_steps
+
+    def test_band_wavefront_sweeps_through(self):
+        """On D1 the wavefront enters low bands before it leaves high ones."""
+        sp = compiled("D1")
+        tiles = wavefront_tile_bands(sp, {"n": 6}, 3)
+        firsts = [t.active_steps.index(True) for t in tiles]
+        assert firsts == sorted(firsts)
+
+    def test_more_bands_than_cells_clamps(self):
+        sp = compiled("D1")
+        tiles = wavefront_tile_bands(sp, {"n": 2}, 100)
+        spans = [t.hi - t.lo for t in tiles]
+        assert all(s == 0 for s in spans)  # one cell column per band
+
+    def test_str_and_errors(self):
+        sp = compiled("D1")
+        tiles = wavefront_tile_bands(sp, {"n": 3}, 2)
+        assert isinstance(tiles[0], TileBand)
+        assert "band 0" in str(tiles[0])
+        with pytest.raises(RuntimeSimulationError):
+            wavefront_tile_bands(sp, {"n": 3}, 0)

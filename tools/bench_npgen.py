@@ -1,0 +1,180 @@
+#!/usr/bin/env python3
+"""Benchmark the vectorized NumPy wavefront backend (npgen).
+
+Writes ``BENCH_npgen.json`` at the repository root:
+
+* ``oracle`` -- bit-equality of npgen against the sequential oracle for
+  every paper design at small sizes (the correctness gate);
+* ``vs_pygen`` -- warm npgen against warm pygen at growing sizes (the
+  whole point of the backend: one array op per wavefront instead of one
+  Python bytecode pass per channel operation);
+* ``large`` -- npgen alone at sizes the scalar backends cannot reach
+  (cold = schedule build + run, warm = run only);
+* ``batch`` -- amortization of one cached schedule over B independent
+  input sets in a single pass.
+
+Usage:
+    PYTHONPATH=src python tools/bench_npgen.py [--check] [-o OUT.json]
+
+``--check`` exits non-zero unless every oracle comparison is bit-exact,
+npgen beats warm pygen by >= 10x at n=64, and the n=256 warm run stays
+under 5 seconds.  Exits 0 with a note (and writes a stub artifact) when
+NumPy is not installed, so CI legs without the extra pass gracefully.
+"""
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+import time
+
+_ROOT = pathlib.Path(__file__).resolve().parent.parent
+if str(_ROOT) not in sys.path:  # for `benchmarks.conftest` from any cwd
+    sys.path.insert(0, str(_ROOT))
+
+from benchmarks.conftest import inputs_for
+from repro import compile_systolic, run_sequential
+from repro.systolic import all_paper_designs
+from repro.target.npgen import HAVE_NUMPY, execute_numpy, execute_numpy_batch
+from repro.target.pygen import execute_python
+
+ORACLE_SIZES = (2, 4, 8)
+VS_PYGEN_SIZES = (16, 32, 64)
+LARGE_SIZES = (128, 256, 512)
+BATCH_N = 64
+BATCH_SIZES = (1, 8, 32)
+REPEATS = 3
+
+MIN_SPEEDUP_AT_64 = 10.0
+MAX_LARGE_WARM_S = 5.0
+
+
+def _best(fn, *args, repeats=REPEATS, **kwargs):
+    best, result = None, None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        result = fn(*args, **kwargs)
+        dt = time.perf_counter() - t0
+        best = dt if best is None else min(best, dt)
+    return best, result
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--check", action="store_true",
+                        help="fail unless oracle-exact, >=10x vs pygen at "
+                             "n=64, and n=256 under 5s")
+    parser.add_argument("-o", "--output",
+                        default=str(_ROOT / "BENCH_npgen.json"))
+    args = parser.parse_args(argv)
+    out = pathlib.Path(args.output)
+
+    if not HAVE_NUMPY:
+        out.write_text(json.dumps({"skipped": "numpy not installed"},
+                                  indent=2) + "\n")
+        print("npgen benchmark skipped: numpy not installed "
+              "(install the extra: pip install repro[np])")
+        return 0
+
+    designs = {e: (p, a) for e, p, a in all_paper_designs()}
+
+    # -- correctness gate: bit-equality vs the oracle ---------------------
+    oracle_rows = []
+    for exp_id, (prog, arr) in designs.items():
+        sp = compile_systolic(prog, arr)
+        for n in ORACLE_SIZES:
+            env = {"n": n}
+            inputs = inputs_for(exp_id, n)
+            want = {v: {tuple(k): x for k, x in m.items()}
+                    for v, m in run_sequential(prog, env, inputs).items()}
+            got = execute_numpy(sp, env, inputs)
+            oracle_rows.append({"design": exp_id, "n": n,
+                                "oracle_match": got == want})
+    ok = all(r["oracle_match"] for r in oracle_rows)
+    print(f"oracle: {len(oracle_rows)} runs, "
+          f"{'all bit-identical' if ok else 'MISMATCH'}")
+
+    # -- vs pygen (both warm) --------------------------------------------
+    vs_rows = []
+    for exp_id in ("D1", "E2"):
+        prog, arr = designs[exp_id]
+        sp = compile_systolic(prog, arr)
+        for n in VS_PYGEN_SIZES:
+            env = {"n": n}
+            inputs = inputs_for(exp_id, n)
+            execute_python(sp, env, inputs)   # warm the module cache
+            execute_numpy(sp, env, inputs)    # warm the schedule cache
+            pygen_s, pygen_final = _best(execute_python, sp, env, inputs)
+            npgen_s, npgen_final = _best(execute_numpy, sp, env, inputs)
+            vs_rows.append({
+                "design": exp_id, "n": n,
+                "pygen_warm_s": round(pygen_s, 6),
+                "npgen_warm_s": round(npgen_s, 6),
+                "speedup": round(pygen_s / npgen_s, 2),
+                "oracle_match": npgen_final == pygen_final,
+            })
+            print(f"{exp_id} n={n}: pygen {pygen_s:.4f}s  "
+                  f"npgen {npgen_s:.4f}s  {pygen_s / npgen_s:7.1f}x  "
+                  f"{'ok' if vs_rows[-1]['oracle_match'] else 'MISMATCH'}")
+
+    # -- large sizes (npgen only) ----------------------------------------
+    large_rows = []
+    prog, arr = designs["D1"]
+    sp = compile_systolic(prog, arr)
+    for n in LARGE_SIZES:
+        env = {"n": n}
+        inputs = inputs_for("D1", n)
+        cold_s, _ = _best(execute_numpy, sp, env, inputs, repeats=1,
+                          use_cache=False)
+        execute_numpy(sp, env, inputs)  # populate the schedule cache
+        warm_s, _ = _best(execute_numpy, sp, env, inputs)
+        large_rows.append({"design": "D1", "n": n,
+                           "npgen_cold_s": round(cold_s, 6),
+                           "npgen_warm_s": round(warm_s, 6)})
+        print(f"D1 n={n}: cold {cold_s:.4f}s  warm {warm_s:.4f}s")
+
+    # -- batch amortization ----------------------------------------------
+    batch_rows = []
+    env = {"n": BATCH_N}
+    for b in BATCH_SIZES:
+        batch = [inputs_for("D1", BATCH_N, seed=s) for s in range(b)]
+        execute_numpy_batch(sp, env, batch)  # warm
+        total_s, _ = _best(execute_numpy_batch, sp, env, batch)
+        batch_rows.append({"design": "D1", "n": BATCH_N, "batch": b,
+                           "total_s": round(total_s, 6),
+                           "per_input_s": round(total_s / b, 6)})
+        print(f"D1 n={BATCH_N} batch={b}: total {total_s:.4f}s  "
+              f"per input {total_s / b:.6f}s")
+
+    report = {
+        "units": "seconds (best of %d)" % REPEATS,
+        "oracle": oracle_rows,
+        "vs_pygen": vs_rows,
+        "large": large_rows,
+        "batch": batch_rows,
+    }
+    out.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {out}")
+
+    if not ok or not all(r["oracle_match"] for r in vs_rows):
+        print("FAIL: oracle mismatch", file=sys.stderr)
+        return 1
+    if args.check:
+        gate = [r for r in vs_rows if r["n"] == 64]
+        if not gate or max(r["speedup"] for r in gate) < MIN_SPEEDUP_AT_64:
+            print(f"FAIL: npgen speedup vs pygen at n=64 below "
+                  f"{MIN_SPEEDUP_AT_64}x: {gate}", file=sys.stderr)
+            return 1
+        big = [r for r in large_rows if r["n"] == 256]
+        if not big or big[0]["npgen_warm_s"] > MAX_LARGE_WARM_S:
+            print(f"FAIL: n=256 warm run over {MAX_LARGE_WARM_S}s: {big}",
+                  file=sys.stderr)
+            return 1
+        print(f"check passed: >= {MIN_SPEEDUP_AT_64:.0f}x vs pygen at n=64, "
+              f"n=256 under {MAX_LARGE_WARM_S:.0f}s, all runs bit-identical")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

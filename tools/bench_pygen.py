@@ -4,8 +4,13 @@
 Writes ``BENCH_pygen.json`` at the repository root: for every paper design
 and size, the simulator's build+run time, the generated program's cold
 (render + compile + run) and warm (run only) times, the speedup, and an
-oracle-equality verdict.  A ``sim_scaling`` section records simulator
-build+run times over a size sweep for tracking hot-path regressions.
+oracle-equality verdict.  When NumPy is installed each row also carries
+``npgen_warm_s`` (the vectorized wavefront backend, schedule already
+cached), so the comparison table reads simulator / pygen warm / npgen warm
+side by side; the key is simply absent on NumPy-less installs, and all
+pre-existing keys keep their meaning for downstream consumers.  A
+``sim_scaling`` section records simulator build+run times over a size
+sweep for tracking hot-path regressions.
 
 Usage:
     PYTHONPATH=src python tools/bench_pygen.py [--check] [-o OUT.json]
@@ -30,6 +35,7 @@ from repro import compile_systolic, run_sequential
 from repro.runtime import execute
 from repro.systolic import all_paper_designs
 from repro.target import execute_python, render_python
+from repro.target.npgen import HAVE_NUMPY, execute_numpy
 from repro.target.pygen import MODULE_CACHE
 
 SIZES = (2, 3, 4, 5, 6)
@@ -76,18 +82,37 @@ def main(argv=None) -> int:
             warm_s, warm_final = _best(execute_python, sp, env, inputs)
             pygen_ok = cold_final == want and warm_final == want
 
-            rows.append({
+            row = {
                 "design": exp_id, "n": n,
                 "simulator_s": round(sim_s, 6),
                 "pygen_cold_s": round(cold_s, 6),
                 "pygen_warm_s": round(warm_s, 6),
                 "speedup_warm": round(sim_s / warm_s, 2),
                 "oracle_match": bool(sim_ok and pygen_ok),
-            })
+            }
+            np_cell = "      n/a"
+            if HAVE_NUMPY:
+                execute_numpy(sp, env, inputs)  # warm the schedule cache
+                npgen_s, npgen_final = _best(execute_numpy, sp, env, inputs)
+                row["npgen_warm_s"] = round(npgen_s, 6)
+                row["oracle_match"] = bool(
+                    row["oracle_match"] and npgen_final == want
+                )
+                np_cell = f"{npgen_s:.4f}s"
+            rows.append(row)
             print(f"{exp_id} n={n}: sim {sim_s:.4f}s  "
                   f"pygen {warm_s:.4f}s (cold {cold_s:.4f}s)  "
+                  f"npgen {np_cell}  "
                   f"{sim_s / warm_s:5.1f}x  "
                   f"{'ok' if rows[-1]['oracle_match'] else 'MISMATCH'}")
+
+    print("\nbackend comparison (warm, seconds):")
+    header = f"{'design':>6} {'n':>3} {'simulator':>10} {'pygen':>10} {'npgen':>10}"
+    print(header)
+    for r in rows:
+        npgen = f"{r['npgen_warm_s']:.6f}" if "npgen_warm_s" in r else "n/a"
+        print(f"{r['design']:>6} {r['n']:>3} {r['simulator_s']:>10.6f} "
+              f"{r['pygen_warm_s']:>10.6f} {npgen:>10}")
 
     scaling = []
     for exp_id in ("D1", "E2"):
