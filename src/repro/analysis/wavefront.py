@@ -31,7 +31,7 @@ from repro.core.program import SystolicProgram
 from repro.geometry.point import Point
 from repro.runtime.trace import Trace
 from repro.symbolic.affine import Numeric
-from repro.util import require_numpy
+from repro.util import env_int, require_numpy
 from repro.util.errors import CompilationError, ReproError
 
 
@@ -88,12 +88,19 @@ def render_wavefront_grid(
 def render_wavefront_film(
     sp: SystolicProgram, env: Mapping[str, Numeric], *, max_frames: int = 6
 ) -> str:
-    """Several consecutive wavefront frames, labelled by step number."""
+    """Several consecutive wavefront frames, labelled by step number.
+
+    When there are more steps than frames the film is stride-sampled, but
+    the final wavefront is always shown: the last frame is pinned to the
+    last step, so the film never cuts off before the computation ends.
+    """
     fronts = synchronous_wavefronts(sp, env)
     steps = list(fronts)
     if len(steps) > max_frames:
         stride = max(1, len(steps) // max_frames)
-        steps = steps[::stride][:max_frames]
+        sampled = steps[::stride][:max_frames]
+        sampled[-1] = steps[-1]
+        steps = sampled
     blocks = []
     for s in steps:
         blocks.append(f"step {s}:")
@@ -348,8 +355,8 @@ class ScheduleCache:
 
 
 SCHEDULE_CACHE = ScheduleCache(
-    capacity=int(
-        os.environ.get("REPRO_WAVEFRONT_CACHE_SIZE", DEFAULT_SCHEDULE_CACHE_SIZE)
+    capacity=env_int(
+        "REPRO_WAVEFRONT_CACHE_SIZE", DEFAULT_SCHEDULE_CACHE_SIZE, minimum=1
     )
 )
 

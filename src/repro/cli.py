@@ -78,6 +78,20 @@ def parse_sizes(pairs: list[str]) -> dict[str, int]:
     return env
 
 
+def parse_array_shape(text: str) -> tuple[int, ...]:
+    """``"3"`` -> ``(3,)``; ``"2x2"`` (or ``2×2``) -> ``(2, 2)``."""
+    parts = text.lower().replace("×", "x").split("x")
+    try:
+        shape = tuple(int(p.strip()) for p in parts)
+    except ValueError:
+        raise ReproError(
+            f"array shape must be P or PxQ (integers), got {text!r}"
+        ) from None
+    if not shape or any(s < 1 for s in shape):
+        raise ReproError(f"array shape must be positive, got {text!r}")
+    return shape
+
+
 def parse_size_sweep(pairs: list[str]) -> list[dict[str, int]]:
     """``name=value`` pairs -> one env per size combination.
 
@@ -141,19 +155,42 @@ def cmd_execute(args: argparse.Namespace) -> int:
     array = load_design(args.design)
     systolic = compile_systolic(program, array)
     env = parse_sizes(args.size)
+    shape = parse_array_shape(args.array) if args.array else None
     batch = [
         random_inputs(program, env, seed=args.seed + b) for b in range(args.batch)
     ]
 
     start = time.perf_counter()
     if args.backend == "npgen":
-        from repro.target.npgen import execute_numpy_batch
+        if shape is not None:
+            from repro.target.npgen import execute_numpy_banded
 
-        results = execute_numpy_batch(systolic, env, batch)
+            results = execute_numpy_banded(systolic, env, batch, shape=shape)
+        else:
+            from repro.target.npgen import execute_numpy_batch
+
+            results = execute_numpy_batch(systolic, env, batch)
     elif args.backend == "pygen":
+        if shape is not None:
+            print(
+                "error: --array needs a partitioned backend "
+                "(sim or npgen); pygen has none",
+                file=sys.stderr,
+            )
+            return 2
         from repro.target.pygen import execute_python
 
         results = [execute_python(systolic, env, inputs) for inputs in batch]
+    elif shape is not None:
+        from repro.extensions.partition import partitioned_execute
+
+        results = []
+        for inputs in batch:
+            final, _stats = partitioned_execute(systolic, env, inputs, shape=shape)
+            results.append(
+                {v: {tuple(p): val for p, val in vals.items()}
+                 for v, vals in final.items()}
+            )
     else:
         from repro.runtime.network import execute
 
@@ -166,11 +203,19 @@ def cmd_execute(args: argparse.Namespace) -> int:
             )
     elapsed = time.perf_counter() - start
 
+    array_note = ""
+    if shape is not None:
+        from repro.extensions.partition import partitioned_schedule
+
+        schedule = partitioned_schedule(systolic, env, shape)
+        array_note = f", array {'x'.join(str(s) for s in schedule.shape)}"
     elements = sum(len(vals) for vals in results[0].values())
     print(
         f"execute[{args.backend}] {env}: batch {args.batch}, "
-        f"{elements} elements/run, {elapsed:.3f}s"
+        f"{elements} elements/run{array_note}, {elapsed:.3f}s"
     )
+    if shape is not None:
+        print(schedule.summary())
     if args.no_check:
         return 0
     mismatched = 0
@@ -378,6 +423,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="independent input sets to run (npgen executes them in one pass)",
     )
     p.add_argument("--seed", type=int, default=0, help="input value seed")
+    p.add_argument(
+        "--array",
+        default=None,
+        metavar="PxQ",
+        help="fold onto a fixed physical array, e.g. 3 (bands) or 2x2 "
+        "(tiles): sim runs the partitioned network, npgen the banded "
+        "executor (pygen has no partitioned mode)",
+    )
     p.add_argument(
         "--no-check",
         action="store_true",

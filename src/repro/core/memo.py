@@ -77,6 +77,15 @@ class DerivationMemo:
         self.tables: dict[str, dict[Hashable, Any]] = {}
         self.limit = limit
         self._stats = counter("derivation_memo")
+        #: per-table (hits, misses) -- lets callers prove a specific
+        #: derivation (e.g. the symbolic partition compilation) was reused
+        #: rather than re-run, independent of unrelated memo traffic
+        self._table_stats: dict[str, list[int]] = {}
+
+    def table_counters(self, table: str) -> tuple[int, int]:
+        """``(hits, misses)`` recorded for one memo table."""
+        hits, misses = self._table_stats.get(table, (0, 0))
+        return (hits, misses)
 
     def get(self, table: str, key: Hashable, compute: Callable[[], Any]) -> Any:
         """The memoized value of ``compute()`` under ``(table, key)``."""
@@ -85,11 +94,14 @@ class DerivationMemo:
         entries = self.tables.get(table)
         if entries is None:
             entries = self.tables[table] = {}
+        stats = self._table_stats.setdefault(table, [0, 0])
         found = entries.get(key, _MISSING)
         if found is not _MISSING:
             self._stats.hits += 1
+            stats[0] += 1
             return found
         self._stats.misses += 1
+        stats[1] += 1
         value = compute()
         if len(entries) >= self.limit:
             entries.clear()
@@ -98,6 +110,7 @@ class DerivationMemo:
 
     def clear(self) -> None:
         self.tables.clear()
+        self._table_stats.clear()
 
     def export_state(self) -> dict[str, dict[Hashable, Any]]:
         """A picklable snapshot (values are interned symbolic objects)."""

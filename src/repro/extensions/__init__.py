@@ -15,9 +15,15 @@ from repro.extensions.pipelining import (
     pipeline_program,
 )
 from repro.extensions.partition import (
+    PartitionedSchedule,
+    StreamFold,
+    SymbolicPartition,
     TileBand,
+    band_edges,
     block_assignment,
+    compile_partition,
     partitioned_execute,
+    partitioned_schedule,
     round_robin_assignment,
     wavefront_tile_bands,
 )
@@ -26,9 +32,15 @@ __all__ = [
     "PipelinedProgram",
     "LiftedStream",
     "pipeline_program",
+    "PartitionedSchedule",
+    "StreamFold",
+    "SymbolicPartition",
     "TileBand",
+    "band_edges",
     "block_assignment",
-    "round_robin_assignment",
+    "compile_partition",
     "partitioned_execute",
+    "partitioned_schedule",
+    "round_robin_assignment",
     "wavefront_tile_bands",
 ]

@@ -32,6 +32,9 @@ CAPACITY_EVERY = 5
 POOL_EVERY = 25
 #: npgen is cheap (one vectorized pass) but needs the optional NumPy extra
 NPGEN_EVERY = 3
+#: partitioned execution re-runs the whole folded simulation (plus the
+#: banded npgen pass) -- comparable cost to the plain simulator check
+PARTITION_EVERY = 4
 
 
 @dataclass
@@ -102,6 +105,8 @@ def iteration_config(base: HarnessConfig, iteration: int) -> HarnessConfig:
         check_pool=base.check_pool or iteration % POOL_EVERY == POOL_EVERY - 1,
         check_npgen=base.check_npgen
         or iteration % NPGEN_EVERY == NPGEN_EVERY - 1,
+        check_partition=base.check_partition
+        or iteration % PARTITION_EVERY == PARTITION_EVERY - 1,
     )
 
 
@@ -238,6 +243,7 @@ def fuzz_run(
                 iter_config,
                 check_threaded=False,
                 check_capacity=False,
+                check_partition=False,
                 check_pool=False,
             )
             instance = instance_from_json(failure.original_json)

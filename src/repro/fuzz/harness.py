@@ -176,6 +176,10 @@ class HarnessConfig:
     check_npgen: bool = False
     #: re-run the simulator with channel capacity 3 (capacity invariance)
     check_capacity: bool = False
+    #: fold the run onto a fixed 2-band array (symbolic LSGP partition)
+    #: through both the partitioned simulator and, when NumPy is present,
+    #: the banded npgen executor -- results must stay bit-identical
+    check_partition: bool = False
     #: full pool-vs-serial ``sweep_designs`` comparison (expensive)
     check_pool: bool = False
     #: mismatches quoted per failure
@@ -390,6 +394,38 @@ def run_instance(instance, config: HarnessConfig | None = None) -> InstanceRepor
                 raise AssertionError("; ".join(mism))
 
         checked("capacity", check_capacity)
+
+    if config.check_partition:
+
+        def check_partition():
+            from repro.extensions.partition import partitioned_execute
+
+            final, _stats = partitioned_execute(sp, env, inputs, shape=(2,))
+            mism = _compare_state(oracle, final, tuple_keys=False, limit=limit)
+            if mism:
+                raise AssertionError("; ".join(mism))
+
+        checked("partition", check_partition)
+
+        from repro.target.npgen import HAVE_NUMPY as _have_np
+
+        if _have_np:
+
+            def check_partition_npgen():
+                from repro.target.npgen import execute_numpy_banded
+                from repro.util.errors import BackendUnsupportedError
+
+                try:
+                    got = execute_numpy_banded(
+                        sp, env, [inputs], shape=(2,), use_cache=False
+                    )[0]
+                except BackendUnsupportedError:
+                    return  # outside the integer value domain: a pass
+                mism = _compare_state(oracle, got, tuple_keys=True, limit=limit)
+                if mism:
+                    raise AssertionError("; ".join(mism))
+
+            checked("partition_npgen", check_partition_npgen)
 
     if config.check_pool:
 

@@ -30,7 +30,7 @@ recoveries.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Iterator, Mapping
+from typing import Any, Callable, Iterator, Mapping
 
 from repro.core.program import StreamPlan, SystolicProgram
 from repro.geometry.point import Point
@@ -68,6 +68,9 @@ class ProcessNetwork:
     scheduler: Scheduler
     channel_capacity: int
     node_counts: dict[str, int] = field(default_factory=dict)
+    #: channels whose endpoints were folded onto different physical
+    #: workers and therefore carry inter-band buffer space (LSGP fold)
+    interband_channels: int = 0
     #: (stream name, PS point) -> whole-pipe element count of its chain
     chain_totals: dict = field(default_factory=dict)
     #: CS point -> (step count, {stream: (soak, drain)}) -- the per-node
@@ -116,11 +119,19 @@ class _NetworkBuilder:
         env: Mapping[str, Numeric],
         host: Host,
         channel_capacity: int,
+        worker_of: Callable[[Point], int] | None = None,
+        interband_capacity: int = 2,
     ) -> None:
         self.sp = sp
         self.env = dict(env)
         self.host = host
         self.capacity = channel_capacity
+        #: optional LSGP fold: maps a PS point to its physical worker; a
+        #: channel whose endpoints land on different workers becomes an
+        #: inter-band buffer with ``interband_capacity`` slots
+        self.worker_of = worker_of
+        self.interband_capacity = interband_capacity
+        self.interband_channels = 0
         self.scheduler = Scheduler()
         self.space = sp.process_space(env)
         #: per stream name: {point: channel} for the link INTO / OUT OF a node
@@ -156,8 +167,19 @@ class _NetworkBuilder:
         return member
 
     # ------------------------------------------------------------------
-    def _channel(self, name: str) -> Channel:
-        return self.scheduler.add_channel(Channel(name, capacity=self.capacity))
+    def _channel(
+        self, name: str, src: Point | None = None, dst: Point | None = None
+    ) -> Channel:
+        capacity = self.capacity
+        if (
+            self.worker_of is not None
+            and src is not None
+            and dst is not None
+            and self.worker_of(src) != self.worker_of(dst)
+        ):
+            capacity = max(capacity, self.interband_capacity)
+            self.interband_channels += 1
+        return self.scheduler.add_channel(Channel(name, capacity=capacity))
 
     def _chains(self, hop: Point) -> Iterator[list[Point]]:
         for y in self.space:
@@ -199,7 +221,11 @@ class _NetworkBuilder:
             upstream: Channel | None = None
             for idx, y in enumerate(chain):
                 src = f"{name}_in" if idx == 0 else f"{name}{chain[idx - 1]}"
-                link_in = self._channel(f"{name}_chan[{src}->{y}]")
+                link_in = self._channel(
+                    f"{name}_chan[{src}->{y}]",
+                    src=None if idx == 0 else chain[idx - 1],
+                    dst=y,
+                )
                 if idx == 0:
                     head_channel = link_in
                 else:
@@ -382,6 +408,7 @@ class _NetworkBuilder:
             node_counts=self.node_counts,
             chain_totals=self.chain_total,
             amounts=self.amounts,
+            interband_channels=self.interband_channels,
         )
 
 
@@ -391,10 +418,26 @@ def build_network(
     inputs: Mapping[str, Mapping[Point, RuntimeValue] | int] | None = None,
     *,
     channel_capacity: int = 1,
+    worker_of: Callable[[Point], int] | None = None,
+    interband_capacity: int = 2,
 ) -> ProcessNetwork:
-    """Instantiate a compiled program at a concrete problem size."""
+    """Instantiate a compiled program at a concrete problem size.
+
+    ``worker_of`` enables the LSGP fold: a channel between PS points on
+    different workers gets ``interband_capacity`` buffer slots (an
+    inter-band buffer), while intra-band channels keep
+    ``channel_capacity``.  Extra buffer space never changes results (Kahn
+    determinism) -- only the timing model.
+    """
     host = Host(sp.source, env, inputs)
-    return _NetworkBuilder(sp, env, host, channel_capacity).build()
+    return _NetworkBuilder(
+        sp,
+        env,
+        host,
+        channel_capacity,
+        worker_of=worker_of,
+        interband_capacity=interband_capacity,
+    ).build()
 
 
 def execute(

@@ -66,6 +66,7 @@ HAVE_NUMPY = _np is not None
 __all__ = [
     "HAVE_NUMPY",
     "execute_numpy",
+    "execute_numpy_banded",
     "execute_numpy_batch",
     "schedule_cache_stats",
 ]
@@ -310,6 +311,104 @@ def execute_numpy_batch(
     plan = _plan_for(schedule, sp.source.body)
     arrays = _states_to_arrays(schedule, dense_states, dtype)
     _run(schedule, plan, arrays)
+    exact = dtype is object
+    return [
+        _arrays_to_state(schedule, arrays, b, exact)
+        for b in range(len(dense_states))
+    ]
+
+
+def _banded_cols(schedule, partition):
+    """Per step, the wavefront columns each tile band owns.
+
+    A list (one entry per step) of ``(band index, column index array)``
+    pairs, restricted to non-empty bands; cached in the schedule's
+    ``runtime_cache`` per band-edge vector so repeated banded runs at one
+    shape reuse the slicing.
+    """
+    key = ("npgen_band_cols", partition.lead_edges)
+    cached = schedule.runtime_cache.get(key)
+    if cached is None:
+        cached = []
+        for step in schedule.steps:
+            lead = step.cells[0]
+            per = []
+            for band in partition.bands:
+                cols = _np.nonzero((lead >= band.lo) & (lead <= band.hi))[0]
+                if cols.shape[0]:
+                    per.append((band.index, cols))
+            cached.append(tuple(per))
+        cached = tuple(cached)
+        schedule.runtime_cache[key] = cached
+    return cached
+
+
+def _run_banded(schedule, plan: _BodyPlan, arrays: dict, band_cols) -> None:
+    """Banded (LSGP) variant of :func:`_run`: one band at a time per step.
+
+    Mirrors how a fixed ``p``-band array executes a wavefront -- each band
+    computes only its own slab of columns.  Bit-identical to the unbounded
+    run: within one step the written-stream scatter indices are globally
+    unique (the duplicate-write guard of the schedule builder), so no band
+    can write an element another band of the same step reads.
+    """
+    written = schedule.streams_written
+    active = plan.active
+    where = _np.where
+    for step, aff, masks, bands in zip(
+        schedule.steps, plan.step_affs, plan.step_masks, band_cols
+    ):
+        gather = step.gather
+        for _band_index, cols in bands:
+            g = {name: gather[name][cols] for name in active}
+            cur = {name: arrays[name][:, g[name]] for name in active}
+            aff_band = [a[cols] for a in aff]
+            for bi, assigns in plan.branches:
+                mask = masks[bi]
+                band_mask = None if mask is None else mask[cols]
+                for name, fn in assigns:
+                    new = fn(cur, aff_band)
+                    cur[name] = (
+                        new if band_mask is None else where(band_mask, new, cur[name])
+                    )
+            for name in written:
+                arrays[name][:, g[name]] = cur[name]
+
+
+def execute_numpy_banded(
+    sp: SystolicProgram,
+    env: Mapping[str, Numeric],
+    inputs_batch: Sequence,
+    *,
+    shape: tuple[int, ...],
+    dtype=None,
+    use_cache: bool = True,
+) -> list[dict]:
+    """Banded batched execution on a fixed ``p``-band (or ``p x q``) array.
+
+    The symbolic partition (:func:`repro.extensions.partition.compile_partition`,
+    memoized per design + shape) is specialized to ``env`` and its per-band
+    activity drives a banded :func:`_run`: at every wavefront step each
+    tile band computes only the columns whose leading place coordinate it
+    owns.  Results are bit-identical to :func:`execute_numpy_batch` -- the
+    fold changes the execution order within a step, never the dataflow.
+    """
+    require_numpy("the npgen backend")
+    from repro.analysis.wavefront import wavefront_schedule
+    from repro.extensions.partition import partitioned_schedule
+
+    if not inputs_batch:
+        raise CompilationError("execute_numpy_banded needs at least one input set")
+    schedule = wavefront_schedule(sp, env, use_cache=use_cache)
+    partition = partitioned_schedule(sp, env, shape, use_cache=use_cache)
+    dense_states = [
+        initial_state(sp.source, env, inputs) for inputs in inputs_batch
+    ]
+    if dtype is None:
+        dtype = _pick_dtype(dense_states)
+    plan = _plan_for(schedule, sp.source.body)
+    arrays = _states_to_arrays(schedule, dense_states, dtype)
+    _run_banded(schedule, plan, arrays, _banded_cols(schedule, partition))
     exact = dtype is object
     return [
         _arrays_to_state(schedule, arrays, b, exact)

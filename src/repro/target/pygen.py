@@ -43,6 +43,7 @@ from repro.symbolic.affine import AffineVec
 from repro.symbolic.compile import guard_chain_lines, render_affine, render_guard
 from repro.symbolic.minmax import render_bound
 from repro.symbolic.piecewise import Piecewise
+from repro.util import env_int
 from repro.util.errors import CompilationError
 
 
@@ -580,7 +581,9 @@ class ModuleCache:
 
 
 MODULE_CACHE = ModuleCache(
-    capacity=int(os.environ.get("REPRO_PYGEN_CACHE_SIZE", DEFAULT_MODULE_CACHE_SIZE))
+    capacity=env_int(
+        "REPRO_PYGEN_CACHE_SIZE", DEFAULT_MODULE_CACHE_SIZE, minimum=1
+    )
 )
 
 

@@ -77,20 +77,44 @@ class VerificationReport:
         )
 
 
-def _execute_backend(backend, sp, env, inputs, channel_capacity):
-    """Run one engine; returns (tuple-keyed final contents, stats or None)."""
+def _execute_backend(backend, sp, env, inputs, channel_capacity, partition=None):
+    """Run one engine; returns (tuple-keyed final contents, stats or None).
+
+    ``partition`` (an array shape ``(p,)`` or ``(p, q)``) folds the run
+    onto a fixed physical array: the simulator uses the partitioned
+    process network (:func:`repro.extensions.partition.partitioned_execute`),
+    npgen the banded batched executor.  pygen has no partitioned mode.
+    """
     if backend == "sim":
-        final, stats = execute(sp, env, inputs, channel_capacity=channel_capacity)
+        if partition is not None:
+            from repro.extensions.partition import partitioned_execute
+
+            final, stats = partitioned_execute(
+                sp, env, inputs, shape=partition, channel_capacity=channel_capacity
+            )
+        else:
+            final, stats = execute(
+                sp, env, inputs, channel_capacity=channel_capacity
+            )
         return (
             {v: {tuple(p): val for p, val in vals.items()}
              for v, vals in final.items()},
             stats,
         )
     if backend == "pygen":
+        if partition is not None:
+            raise VerificationError(
+                "the pygen backend has no partitioned execution mode; "
+                "use backend='sim' or backend='npgen'"
+            )
         from repro.target.pygen import execute_python
 
         return execute_python(sp, env, inputs), None
     if backend == "npgen":
+        if partition is not None:
+            from repro.target.npgen import execute_numpy_banded
+
+            return execute_numpy_banded(sp, env, [inputs], shape=partition)[0], None
         from repro.target.npgen import execute_numpy
 
         return execute_numpy(sp, env, inputs), None
@@ -110,6 +134,7 @@ def verify_design(
     seed: int = 0,
     raise_on_mismatch: bool = True,
     backend: str = "sim",
+    partition: tuple[int, ...] | None = None,
 ) -> VerificationReport:
     """Compile (unless given), execute on ``backend`` and compare vs oracle.
 
@@ -117,11 +142,17 @@ def verify_design(
     process-network simulator, with scheduler stats), ``"pygen"`` (the
     rendered standalone Python module) or ``"npgen"`` (the vectorized
     NumPy wavefront backend; requires the optional NumPy extra).
+
+    ``partition`` folds the execution onto a fixed physical array of that
+    shape (``(p,)`` bands or ``(p, q)`` tiles) via the symbolically
+    compiled LSGP partition; supported on ``sim`` and ``npgen``.
     """
     sp = compiled if compiled is not None else compile_systolic(program, array)
     if inputs is None:
         inputs = random_inputs(program, env, seed=seed)
-    final, stats = _execute_backend(backend, sp, env, inputs, channel_capacity)
+    final, stats = _execute_backend(
+        backend, sp, env, inputs, channel_capacity, partition=partition
+    )
     oracle = run_sequential(program, env, inputs)
     mismatches: list[str] = []
     for var, expected in oracle.items():

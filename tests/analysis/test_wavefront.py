@@ -68,6 +68,19 @@ class TestRenderGrid:
         film = render_wavefront_film(sp, {"n": 2}, max_frames=3)
         assert film.count("step ") == 3
 
+    def test_film_always_shows_the_final_wavefront(self):
+        """Regression: stride sampling used to drop the last step whenever
+        ``len(steps)`` was not a multiple of the stride."""
+        exp, prog, arr = ALL[0]
+        sp = compile_systolic(prog, arr)
+        for n in (3, 4, 5):
+            fronts = synchronous_wavefronts(sp, {"n": n})
+            last = max(fronts)
+            for max_frames in (2, 3, 4, 5):
+                film = render_wavefront_film(sp, {"n": n}, max_frames=max_frames)
+                assert f"step {last}:" in film
+                assert film.count("step ") <= max(max_frames, 1)
+
     def test_3d_rejected(self):
         # build a 4-loop program? use coords length check via fake coords
         exp, prog, arr = ALL[2]

@@ -72,3 +72,99 @@ class TestWavefrontTileBands:
         assert "band 0" in str(tiles[0])
         with pytest.raises(RuntimeSimulationError):
             wavefront_tile_bands(sp, {"n": 3}, 0)
+
+    @pytest.mark.parametrize("exp_id", sorted(DESIGNS))
+    @pytest.mark.parametrize("bands", [2, 3])
+    def test_bands_agree_with_partitioned_schedule(self, exp_id, bands):
+        """The numpy-derived tile bands and the symbolic specialization
+        describe the identical cut: same edges, same per-step work."""
+        from repro.extensions import partitioned_schedule
+
+        sp = compiled(exp_id)
+        env = {"n": 4}
+        tiles = wavefront_tile_bands(sp, env, bands)
+        schedule = partitioned_schedule(sp, env, (bands,), use_cache=False)
+        assert len(tiles) == len(schedule.bands)
+        for t, b in zip(tiles, schedule.bands):
+            assert (t.lo, t.hi) == (b.lo, b.hi)
+            assert t.work == b.work
+            assert t.active_steps == b.active_steps
+
+
+class TestBandedNpgen:
+    @pytest.mark.parametrize("exp_id", sorted(DESIGNS))
+    @pytest.mark.parametrize("n", [2, 4])
+    def test_banded_bit_identical_to_unbounded(self, exp_id, n):
+        from repro.target.npgen import execute_numpy_banded, execute_numpy_batch
+        from repro.verify import random_inputs
+
+        prog, arr = DESIGNS[exp_id]
+        sp = compiled(exp_id)
+        batch = [random_inputs(prog, {"n": n}, seed=s) for s in range(3)]
+        want = execute_numpy_batch(sp, {"n": n}, batch)
+        shapes = [(2,), (3,)]
+        if len(sp.coords) >= 2:
+            shapes.append((2, 2))
+        for shape in shapes:
+            got = execute_numpy_banded(sp, {"n": n}, batch, shape=shape)
+            assert got == want, shape
+
+    def test_banded_matches_oracle(self):
+        from repro import run_sequential
+        from repro.target.npgen import execute_numpy_banded
+        from repro.verify import random_inputs
+
+        prog, arr = DESIGNS["E2"]
+        sp = compiled("E2")
+        inputs = random_inputs(prog, {"n": 3}, seed=5)
+        oracle = run_sequential(prog, {"n": 3}, inputs)
+        got = execute_numpy_banded(sp, {"n": 3}, [inputs], shape=(2, 2))[0]
+        for var, expected in oracle.items():
+            for element, value in expected.items():
+                assert got[var][tuple(element)] == value
+
+    def test_band_cols_cached_per_shape(self):
+        from repro.analysis.wavefront import wavefront_schedule
+        from repro.target.npgen import execute_numpy_banded
+        from repro.verify import random_inputs
+
+        prog, arr = DESIGNS["D1"]
+        sp = compiled("D1")
+        inputs = random_inputs(prog, {"n": 3}, seed=0)
+        execute_numpy_banded(sp, {"n": 3}, [inputs], shape=(2,))
+        schedule = wavefront_schedule(sp, {"n": 3})
+        keys = [k for k in schedule.runtime_cache if isinstance(k, tuple)
+                and k and k[0] == "npgen_band_cols"]
+        assert keys  # banded slicing survives for the next run
+        execute_numpy_banded(sp, {"n": 3}, [inputs], shape=(3,))
+        keys = [k for k in schedule.runtime_cache if isinstance(k, tuple)
+                and k and k[0] == "npgen_band_cols"]
+        assert len(keys) == 2  # one slicing per band-edge vector
+
+    def test_empty_batch_rejected(self):
+        from repro.target.npgen import execute_numpy_banded
+        from repro.util.errors import CompilationError
+
+        sp = compiled("D1")
+        with pytest.raises(CompilationError):
+            execute_numpy_banded(sp, {"n": 3}, [], shape=(2,))
+
+
+class TestVerifyDesignPartition:
+    @pytest.mark.parametrize("backend", ["sim", "npgen"])
+    def test_verify_partitioned_backends(self, backend):
+        from repro.verify import verify_design
+
+        prog, arr = DESIGNS["E1"]
+        report = verify_design(
+            prog, arr, {"n": 3}, backend=backend, partition=(2,)
+        )
+        assert report.matched
+
+    def test_pygen_has_no_partitioned_mode(self):
+        from repro.util.errors import VerificationError
+        from repro.verify import verify_design
+
+        prog, arr = DESIGNS["D1"]
+        with pytest.raises(VerificationError):
+            verify_design(prog, arr, {"n": 3}, backend="pygen", partition=(2,))

@@ -54,9 +54,13 @@ class TestHarnessClean:
             program=program, array=array, env={s: 3 for s in syms}
         )
         report = run_instance(
-            instance, HarnessConfig(check_threaded=True, check_capacity=True)
+            instance,
+            HarnessConfig(
+                check_threaded=True, check_capacity=True, check_partition=True
+            ),
         )
         assert report.ok, str(report)
+        assert "partition" in report.checks_run
 
     @pytest.mark.parametrize("seed", [0, 1, 2, 3])
     def test_generated_instances_pass(self, seed):
@@ -64,6 +68,30 @@ class TestHarnessClean:
         report = run_instance(instance, HarnessConfig())
         assert report.ok, str(report)
         assert {"compile", "oracle"} | ENGINE_CHECKS <= set(report.checks_run)
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_generated_instances_pass_partitioned(self, seed):
+        """The symbolic 2-band fold stays bit-identical on fuzz-generated
+        programs, through both the folded simulator and banded npgen."""
+        instance = _skip_if_unschedulable(generate_instance(seed))
+        report = run_instance(instance, HarnessConfig(check_partition=True))
+        assert report.ok, str(report)
+        assert "partition" in report.checks_run
+
+    def test_partition_catches_planted_bug(self):
+        """The partitioned engines replay the planted-mutation corpus: a
+        drain bump that deadlocks or corrupts the fold is detected."""
+        for seed in range(6):
+            instance = generate_instance(seed)
+            if instance is None:
+                continue
+            report = run_instance(
+                instance,
+                HarnessConfig(mutate="map_shear", check_partition=True),
+            )
+            if "partition" in report.failed_checks:
+                return
+        pytest.skip("no seed produced a partition-visible shear")
 
 
 class TestMutationsCaught:

@@ -1,0 +1,258 @@
+#!/usr/bin/env python3
+"""Benchmark + acceptance gate for symbolic partitioned execution.
+
+Writes ``BENCH_partition.json`` at the repository root:
+
+* per paper design and array shape: the folded simulator's makespan and
+  wall-clock, and the banded npgen executor's wall-clock next to the
+  unbounded vectorized run -- each checked bit-identical to the
+  sequential oracle;
+* the compile-once/specialize-many story: cold symbolic compilation
+  versus warm specialization to new problem sizes, with the cross-design
+  memo's per-table hit/miss counters as proof that no per-band formula
+  is ever re-derived;
+* a fuzz sweep: ``--instances`` generated programs (default 120) folded
+  onto a fixed 2-band array through the partitioned simulator and, when
+  NumPy is present, the banded npgen executor -- every element of every
+  variable compared against the oracle.
+
+Usage:
+    PYTHONPATH=src python tools/bench_partition.py [--check]
+        [--instances N] [--seed N] [-o OUT.json]
+
+``--check`` exits non-zero unless every design/shape/backend is
+bit-identical, the fuzz sweep ran at least 100 schedulable instances
+with zero mismatches, and the memo counters prove symbolic reuse.
+"""
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+import time
+
+_ROOT = pathlib.Path(__file__).resolve().parent.parent
+if str(_ROOT) not in sys.path:
+    sys.path.insert(0, str(_ROOT))
+
+from repro import compile_systolic, run_sequential
+from repro.core.memo import MEMO
+from repro.extensions.partition import (
+    PARTITION_CACHE,
+    PARTITION_MEMO_TABLE,
+    compile_partition,
+    partitioned_execute,
+    partitioned_schedule,
+)
+from repro.fuzz import generate_instance
+from repro.systolic.designs import all_paper_designs
+from repro.target.npgen import HAVE_NUMPY
+from repro.verify import random_inputs
+
+
+def _identical(oracle, final, *, tuple_keys: bool) -> bool:
+    for var, expected in oracle.items():
+        got = final.get(var, {})
+        for element, value in expected.items():
+            key = tuple(int(c) for c in element) if tuple_keys else element
+            if got.get(key) != value:
+                return False
+    return True
+
+
+def bench_designs(n: int) -> list[dict]:
+    rows = []
+    for exp_id, prog, array in all_paper_designs():
+        sp = compile_systolic(prog, array)
+        env = {"n": n}
+        inputs = random_inputs(prog, env, seed=0)
+        oracle = run_sequential(prog, env, inputs)
+        shapes = [(2,), (3,)]
+        if len(sp.coords) >= 2:
+            shapes.append((2, 2))
+        for shape in shapes:
+            t0 = time.perf_counter()
+            final, stats = partitioned_execute(sp, env, inputs, shape=shape)
+            sim_s = time.perf_counter() - t0
+            row = {
+                "design": exp_id,
+                "shape": "x".join(str(s) for s in shape),
+                "n": n,
+                "sim_s": round(sim_s, 6),
+                "makespan": stats.makespan,
+                "sim_identical": _identical(oracle, final, tuple_keys=False),
+            }
+            if HAVE_NUMPY:
+                from repro.target.npgen import (
+                    execute_numpy_banded,
+                    execute_numpy_batch,
+                )
+
+                t0 = time.perf_counter()
+                unbounded = execute_numpy_batch(sp, env, [inputs])
+                np_s = time.perf_counter() - t0
+                t0 = time.perf_counter()
+                banded = execute_numpy_banded(sp, env, [inputs], shape=shape)
+                banded_s = time.perf_counter() - t0
+                row.update(
+                    npgen_s=round(np_s, 6),
+                    npgen_banded_s=round(banded_s, 6),
+                    npgen_identical=(
+                        banded == unbounded
+                        and _identical(oracle, banded[0], tuple_keys=True)
+                    ),
+                )
+            rows.append(row)
+    return rows
+
+
+def bench_specialization(sizes=(3, 4, 5, 6)) -> dict:
+    """Cold symbolic compile vs warm specialization, memo counters as proof."""
+    exp_id, prog, array = all_paper_designs()[2]  # E1
+    sp = compile_systolic(prog, array)
+    shape = (4,)
+    PARTITION_CACHE.clear()
+    MEMO.tables.pop(PARTITION_MEMO_TABLE, None)
+    h0, m0 = MEMO.table_counters(PARTITION_MEMO_TABLE)
+
+    t0 = time.perf_counter()
+    compile_partition(sp, shape)
+    cold_s = time.perf_counter() - t0
+
+    warm = []
+    for n in sizes:
+        t0 = time.perf_counter()
+        partitioned_schedule(sp, {"n": n}, shape)
+        warm.append(time.perf_counter() - t0)
+    h1, m1 = MEMO.table_counters(PARTITION_MEMO_TABLE)
+    return {
+        "design": exp_id,
+        "shape": "x".join(str(s) for s in shape),
+        "cold_compile_s": round(cold_s, 6),
+        "warm_specialize_s": [round(s, 6) for s in warm],
+        "memo_hits": h1 - h0,
+        "memo_misses": m1 - m0,
+        "reused": (m1 - m0) == 1 and (h1 - h0) == len(sizes),
+    }
+
+
+def bench_fuzz(seed: int, instances: int) -> dict:
+    """Fold ``instances`` fuzz programs onto 2 bands; count mismatches."""
+    if HAVE_NUMPY:
+        from repro.target.npgen import execute_numpy_banded
+        from repro.util.errors import BackendUnsupportedError
+
+    ran = skipped = mismatches = npgen_ran = 0
+    failures: list[dict] = []
+    t_start = time.perf_counter()
+    s = 0
+    while ran < instances:
+        instance = generate_instance(seed * 1_000_003 + s)
+        s += 1
+        if instance is None:
+            skipped += 1
+            continue
+        ran += 1
+        prog, env = instance.program, instance.env
+        sp = compile_systolic(prog, instance.array)
+        inputs = random_inputs(prog, env, seed=seed)
+        oracle = run_sequential(prog, env, inputs)
+        final, _stats = partitioned_execute(sp, env, inputs, shape=(2,))
+        if not _identical(oracle, final, tuple_keys=False):
+            mismatches += 1
+            failures.append({"seed": seed * 1_000_003 + s - 1, "engine": "sim"})
+            continue
+        if HAVE_NUMPY:
+            try:
+                got = execute_numpy_banded(sp, env, [inputs], shape=(2,))[0]
+            except BackendUnsupportedError:
+                continue  # outside the integer value domain: not a fold bug
+            npgen_ran += 1
+            if not _identical(oracle, got, tuple_keys=True):
+                mismatches += 1
+                failures.append(
+                    {"seed": seed * 1_000_003 + s - 1, "engine": "npgen"}
+                )
+    elapsed = time.perf_counter() - t_start
+    return {
+        "instances": ran,
+        "skipped_unschedulable": skipped,
+        "npgen_banded_runs": npgen_ran,
+        "mismatches": mismatches,
+        "failures": failures,
+        "elapsed_s": round(elapsed, 3),
+        "instances_per_s": round(ran / max(elapsed, 1e-9), 2),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--check", action="store_true",
+                        help="fail unless every fold is bit-identical and "
+                             "the memo proves symbolic reuse")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--instances", type=int, default=120,
+                        help="fuzz instances to fold (>= 100 for --check)")
+    parser.add_argument("-n", type=int, default=5, help="paper-design size")
+    parser.add_argument("-o", "--output",
+                        default=str(_ROOT / "BENCH_partition.json"))
+    args = parser.parse_args(argv)
+
+    designs = bench_designs(args.n)
+    for row in designs:
+        flags = "sim=" + ("OK" if row["sim_identical"] else "MISMATCH")
+        if "npgen_identical" in row:
+            flags += ", npgen=" + ("OK" if row["npgen_identical"] else "MISMATCH")
+        print(f"{row['design']:<3} array {row['shape']:<4} n={row['n']}: "
+              f"makespan {row['makespan']}, {row['sim_s']*1000:.1f}ms sim "
+              f"({flags})")
+
+    spec = bench_specialization()
+    print(f"specialize {spec['design']} array {spec['shape']}: "
+          f"cold {spec['cold_compile_s']*1000:.2f}ms, warm "
+          f"{[round(s*1000, 2) for s in spec['warm_specialize_s']]}ms, "
+          f"memo {spec['memo_hits']} hits / {spec['memo_misses']} miss")
+
+    fuzz = bench_fuzz(args.seed, args.instances)
+    print(f"fuzz fold: {fuzz['instances']} instances "
+          f"({fuzz['npgen_banded_runs']} banded npgen) in "
+          f"{fuzz['elapsed_s']}s ({fuzz['instances_per_s']}/s), "
+          f"{fuzz['mismatches']} mismatches")
+
+    report = {
+        "units": "seconds",
+        "designs": designs,
+        "specialization": spec,
+        "fuzz": fuzz,
+        "have_numpy": HAVE_NUMPY,
+    }
+    out = pathlib.Path(args.output)
+    out.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {out}")
+
+    if args.check:
+        bad = [r for r in designs
+               if not r["sim_identical"] or not r.get("npgen_identical", True)]
+        if bad:
+            print(f"FAIL: non-identical folds: {bad}", file=sys.stderr)
+            return 1
+        if not spec["reused"]:
+            print(f"FAIL: symbolic compilation was re-derived: {spec}",
+                  file=sys.stderr)
+            return 1
+        if fuzz["instances"] < 100:
+            print(f"FAIL: only {fuzz['instances']} fuzz instances (< 100)",
+                  file=sys.stderr)
+            return 1
+        if fuzz["mismatches"]:
+            print(f"FAIL: fuzz mismatches: {fuzz['failures']}", file=sys.stderr)
+            return 1
+        print(f"check passed: {len(designs)} design folds bit-identical; "
+              f"symbolic compile reused across {len(spec['warm_specialize_s'])} "
+              f"sizes; {fuzz['instances']} fuzz instances clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
