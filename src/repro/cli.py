@@ -301,7 +301,9 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
     from repro.fuzz import HarnessConfig, fuzz_run
     from repro.parallel import resolve_jobs
 
-    config = HarnessConfig(seed=args.input_seed, mutate=args.mutate)
+    config = HarnessConfig(
+        seed=args.input_seed, mutate=args.mutate, input_sets=args.input_sets
+    )
     with warnings.catch_warnings(record=True) as caught:
         warnings.simplefilter("always", RuntimeWarning)
         summary = fuzz_run(
@@ -314,6 +316,7 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
             max_shrink_steps=args.max_shrink_steps,
             corpus_dir=args.corpus_dir,
             feature=args.feature,
+            batch_size=args.batch_size,
             log=lambda message: print(message, file=sys.stderr),
         )
     requested = resolve_jobs(args.jobs)
@@ -324,6 +327,12 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
     print(summary)
+    if summary.phase_seconds:
+        phases = ", ".join(
+            f"{name} {seconds:.3f}s"
+            for name, seconds in sorted(summary.phase_seconds.items())
+        )
+        print(f"phases: {phases}")
     if summary.check_counts:
         counts = ", ".join(
             f"{name} x{count}"
@@ -490,6 +499,21 @@ def build_parser() -> argparse.ArgumentParser:
         choices=sorted(MUTATIONS),
         default=None,
         help="plant a known bug (harness self-test; the run must fail)",
+    )
+    p.add_argument(
+        "--batch-size",
+        type=int,
+        default=None,
+        metavar="N",
+        help="pin the pool fan-out size (default: adapt to measured "
+        "per-instance cost)",
+    )
+    p.add_argument(
+        "--input-sets",
+        type=int,
+        default=1,
+        metavar="K",
+        help="differential input sets per instance (seeds input-seed..+K-1)",
     )
     p.add_argument(
         "--no-shrink", action="store_true", help="skip minimizing failures"

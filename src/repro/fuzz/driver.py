@@ -16,13 +16,16 @@ sweep comparison every 25th.
 
 from __future__ import annotations
 
+import gc
 import time
 from dataclasses import dataclass, field, replace
 
+from repro import profiling
 from repro.fuzz.corpus import instance_to_json, write_reproducer
 from repro.fuzz.generator import generate_instance, program_features
 from repro.fuzz.harness import HarnessConfig, run_instance
 from repro.fuzz.shrink import shrink_instance
+from repro.util.errors import ReproError
 
 #: spreads base seeds far apart so campaigns never share instance seeds
 SEED_STRIDE = 1_000_003
@@ -35,6 +38,25 @@ NPGEN_EVERY = 3
 #: partitioned execution re-runs the whole folded simulation (plus the
 #: banded npgen pass) -- comparable cost to the plain simulator check
 PARTITION_EVERY = 4
+#: the metamorphic cache-stack invariants (memo A/B, pickle round-trip,
+#: render cache, repeated execution) re-render or recompile the whole
+#: module; each runs on every 4th instance, staggered so each iteration
+#: carries about one of them
+METAMORPHIC_EVERY = 4
+
+#: adaptive batching aims for roughly this much work per pool fan-out --
+#: long enough to amortize dispatch, short enough that the time budget and
+#: the failure cap are honoured promptly
+BATCH_TARGET_SECONDS = 2.0
+
+#: per-instance network phase stages recorded by repro.runtime.network
+_NETWORK_STAGES = ("network.build", "network.execute")
+
+#: profiling stage -> phase_seconds key in the campaign summary
+_STAGE_PHASE = {
+    "network.build": "build_network",
+    "network.execute": "execute",
+}
 
 
 @dataclass
@@ -64,6 +86,11 @@ class FuzzSummary:
     feature: str | None = None  # stratum restriction, if any
     check_counts: dict = field(default_factory=dict)
     check_seconds: dict = field(default_factory=dict)
+    #: wall-clock per pipeline phase: ``generate`` (instance synthesis),
+    #: ``compile`` (scheme derivation), ``check`` (all detectors), plus the
+    #: network sub-phases ``build_network``/``execute`` (accounted *inside*
+    #: ``check``, broken out so regressions are attributable)
+    phase_seconds: dict = field(default_factory=dict)
     feature_counts: dict = field(default_factory=dict)
     failures: list = field(default_factory=list)
 
@@ -83,6 +110,10 @@ class FuzzSummary:
             "stopped_early": self.stopped_early,
             "feature": self.feature,
             "feature_counts": dict(sorted(self.feature_counts.items())),
+            "phase_seconds": {
+                name: round(seconds, 4)
+                for name, seconds in sorted(self.phase_seconds.items())
+            },
         }
 
     def __str__(self) -> str:
@@ -95,7 +126,15 @@ class FuzzSummary:
 
 
 def iteration_config(base: HarnessConfig, iteration: int) -> HarnessConfig:
-    """The sampled per-iteration harness configuration."""
+    """The sampled per-iteration harness configuration.
+
+    The expensive extras (threaded engine, capacity, partition, pool) are
+    *enabled* on their cadence; the metamorphic cache-stack invariants --
+    on by default for direct harness use -- are *thinned* to a staggered
+    every-4th-iteration schedule, so a campaign still covers each one
+    constantly without paying all four on every instance.
+    """
+    m = iteration % METAMORPHIC_EVERY
     return replace(
         base,
         check_threaded=base.check_threaded
@@ -107,6 +146,10 @@ def iteration_config(base: HarnessConfig, iteration: int) -> HarnessConfig:
         or iteration % NPGEN_EVERY == NPGEN_EVERY - 1,
         check_partition=base.check_partition
         or iteration % PARTITION_EVERY == PARTITION_EVERY - 1,
+        check_memo_ab=base.check_memo_ab and m == 0,
+        check_pickle=base.check_pickle and m == 1,
+        check_render_cache=base.check_render_cache and m == 2,
+        check_repeat=base.check_repeat and m == 3,
     )
 
 
@@ -127,16 +170,29 @@ def _fuzz_task(iteration: int) -> dict:
     base_seed = _WORKER["base_seed"]
     config = iteration_config(_WORKER["config"], iteration)
     instance_seed = base_seed * SEED_STRIDE + iteration
+    t0 = time.perf_counter()
     instance = generate_instance(instance_seed, feature=_WORKER.get("feature"))
+    generate_s = time.perf_counter() - t0
     if instance is None:
-        return {"iteration": iteration, "status": "skipped"}
+        return {
+            "iteration": iteration,
+            "status": "skipped",
+            "generate_s": generate_s,
+        }
+    stages_before = profiling.snapshot()["stages"]
     report = run_instance(instance, config)
+    stages_after = profiling.snapshot()["stages"]
     record = {
         "iteration": iteration,
         "status": "ok" if report.ok else "failed",
         "instance_seed": instance_seed,
         "checks_run": list(report.checks_run),
         "timings": dict(report.timings),
+        "generate_s": generate_s,
+        "stages": {
+            name: stages_after.get(name, 0.0) - stages_before.get(name, 0.0)
+            for name in _NETWORK_STAGES
+        },
         "features": sorted(program_features(instance.program)),
     }
     if not report.ok:
@@ -159,6 +215,7 @@ def fuzz_run(
     corpus_dir: str | None = None,
     max_failures: int = 5,
     feature: str | None = None,
+    batch_size: int | None = None,
     log=None,
 ) -> FuzzSummary:
     """Run a fuzz campaign; returns the summary (never raises on findings).
@@ -169,8 +226,21 @@ def fuzz_run(
     once that many failures have been collected.  ``feature`` restricts the
     campaign to one generator stratum (see ``generator.FEATURES``): each
     iteration resamples until its program carries that feature tag.
+
+    ``batch_size`` pins the pool fan-out size; by default it adapts --
+    starting from :func:`resolve_batch`'s jobs-scaled floor, then resized
+    from the measured per-instance cost so each fan-out covers roughly
+    :data:`BATCH_TARGET_SECONDS` of work.  The automatic garbage collector
+    is paused for the duration of the campaign (the caches at work here are
+    all bounded) and restored afterwards.
     """
     from repro.parallel import pool_map
+
+    if batch_size is not None and batch_size < 1:
+        raise ReproError(
+            f"fuzz batch size must be >= 1, got {batch_size} "
+            "(--batch-size / fuzz_run(batch_size=...))"
+        )
 
     base_config = config or HarnessConfig()
     summary = FuzzSummary(seed=seed, feature=feature)
@@ -178,58 +248,95 @@ def fuzz_run(
 
     # Batches keep the pool busy while letting the driver honour the time
     # budget and the failure cap between fan-outs.
-    batch_size = 10 if jobs in (None, 1) else max(10, resolve_batch(jobs))
+    current_batch = batch_size or resolve_batch(jobs)
     next_iteration = 0
     effective_jobs = 1
-    while next_iteration < iterations:
-        if time_budget is not None and time.perf_counter() - t0 > time_budget:
-            summary.stopped_early = True
-            break
-        if len(summary.failures) >= max_failures:
-            summary.stopped_early = True
-            break
-        batch = list(
-            range(next_iteration, min(iterations, next_iteration + batch_size))
-        )
-        next_iteration = batch[-1] + 1
-        records, effective_jobs = pool_map(
-            _fuzz_task,
-            batch,
-            jobs=jobs,
-            initializer=_init_fuzz_worker,
-            initargs=(seed, base_config, feature),
-        )
-        for record in records:
-            summary.iterations += 1
-            if record["status"] == "skipped":
-                summary.skipped += 1
-                continue
-            summary.generated += 1
-            for name in record["checks_run"]:
-                summary.check_counts[name] = summary.check_counts.get(name, 0) + 1
-            for name, dt in record["timings"].items():
-                summary.check_seconds[name] = (
-                    summary.check_seconds.get(name, 0.0) + dt
+    gc_was_enabled = gc.isenabled()
+    if gc_was_enabled:
+        gc.disable()
+    try:
+        while next_iteration < iterations:
+            if (
+                time_budget is not None
+                and time.perf_counter() - t0 > time_budget
+            ):
+                summary.stopped_early = True
+                break
+            if len(summary.failures) >= max_failures:
+                summary.stopped_early = True
+                break
+            batch = list(
+                range(
+                    next_iteration, min(iterations, next_iteration + current_batch)
                 )
-            for tag in record.get("features", ()):
-                summary.feature_counts[tag] = (
-                    summary.feature_counts.get(tag, 0) + 1
-                )
-            if record["status"] == "failed":
-                summary.failures.append(
-                    FailureRecord(
-                        iteration=record["iteration"],
-                        instance_seed=record["instance_seed"],
-                        checks=record["checks"],
-                        messages=record["messages"],
-                        original_json=record["instance_json"],
+            )
+            next_iteration = batch[-1] + 1
+            records, effective_jobs = pool_map(
+                _fuzz_task,
+                batch,
+                jobs=jobs,
+                initializer=_init_fuzz_worker,
+                initargs=(seed, base_config, feature),
+            )
+            for record in records:
+                summary.iterations += 1
+                summary.phase_seconds["generate"] = summary.phase_seconds.get(
+                    "generate", 0.0
+                ) + record.get("generate_s", 0.0)
+                if record["status"] == "skipped":
+                    summary.skipped += 1
+                    continue
+                summary.generated += 1
+                for name in record["checks_run"]:
+                    summary.check_counts[name] = (
+                        summary.check_counts.get(name, 0) + 1
                     )
-                )
-                if log:
-                    log(
-                        f"iteration {record['iteration']}: FAILED "
-                        f"{record['checks']}"
+                check_total = 0.0
+                for name, dt in record["timings"].items():
+                    summary.check_seconds[name] = (
+                        summary.check_seconds.get(name, 0.0) + dt
                     )
+                    if name == "compile":
+                        summary.phase_seconds["compile"] = (
+                            summary.phase_seconds.get("compile", 0.0) + dt
+                        )
+                    else:
+                        check_total += dt
+                summary.phase_seconds["check"] = (
+                    summary.phase_seconds.get("check", 0.0) + check_total
+                )
+                for stage, dt in record.get("stages", {}).items():
+                    name = _STAGE_PHASE[stage]
+                    summary.phase_seconds[name] = (
+                        summary.phase_seconds.get(name, 0.0) + dt
+                    )
+                for tag in record.get("features", ()):
+                    summary.feature_counts[tag] = (
+                        summary.feature_counts.get(tag, 0) + 1
+                    )
+                if record["status"] == "failed":
+                    summary.failures.append(
+                        FailureRecord(
+                            iteration=record["iteration"],
+                            instance_seed=record["instance_seed"],
+                            checks=record["checks"],
+                            messages=record["messages"],
+                            original_json=record["instance_json"],
+                        )
+                    )
+                    if log:
+                        log(
+                            f"iteration {record['iteration']}: FAILED "
+                            f"{record['checks']}"
+                        )
+            if batch_size is None and summary.generated:
+                per_instance = (time.perf_counter() - t0) / max(
+                    1, summary.iterations
+                )
+                current_batch = resolve_batch(jobs, per_instance)
+    finally:
+        if gc_was_enabled:
+            gc.enable()
     summary.jobs = effective_jobs
 
     if shrink and summary.failures:
@@ -263,7 +370,20 @@ def fuzz_run(
     return summary
 
 
-def resolve_batch(jobs: int | None) -> int:
+def resolve_batch(jobs: int | None, per_instance_s: float | None = None) -> int:
+    """Pick a pool fan-out size from the worker count *and* instance cost.
+
+    With no cost measurement yet (campaign start), fall back to four batches
+    of work per worker.  Once ``per_instance_s`` is known, size the batch so
+    one fan-out covers roughly :data:`BATCH_TARGET_SECONDS` of wall-clock --
+    cheap instances get large batches (amortizing pool dispatch), expensive
+    ones get small batches (so the time budget and failure cap stay
+    responsive) -- clamped to ``[workers, 64 * workers]``.
+    """
     from repro.parallel import resolve_jobs
 
-    return 4 * resolve_jobs(jobs)
+    workers = resolve_jobs(jobs)
+    if per_instance_s is None or per_instance_s <= 0:
+        return 4 * workers
+    target = int(BATCH_TARGET_SECONDS / per_instance_s)
+    return max(workers, min(target, 64 * workers))

@@ -2,8 +2,12 @@
 
 For a :class:`~repro.fuzz.generator.FuzzInstance` the harness
 
-1. compiles the design and runs the **sequential interpreter** (the ground
-   truth the paper verifies against);
+1. builds the shared :class:`~repro.fuzz.compiled.CompiledInstance`
+   pipeline -- compile, render, network plan, per-seed inputs and oracle
+   states, each exactly once -- and runs the **sequential interpreter**
+   (the ground truth the paper verifies against) on every input set
+   (``input_sets`` seeds per instance; each engine below is compared on
+   all of them against one compiled artifact);
 2. runs the **coroutine simulator** (:func:`repro.runtime.network.execute`)
    and compares every element of every variable;
 3. runs the **compiled Python backend**
@@ -46,13 +50,12 @@ from dataclasses import dataclass, field, replace
 
 from repro.core.program import SystolicProgram
 from repro.core.scheme import compile_systolic
-from repro.lang.interpreter import run_sequential
+from repro.fuzz.compiled import CompiledInstance
 from repro.runtime.network import execute
 from repro.symbolic.piecewise import Piecewise
 from repro.systolic.explore import cost_of_compiled
 from repro.target.pygen import execute_python, render_python, render_python_cached
 from repro.verify.enumerative import cross_check
-from repro.verify.equivalence import random_inputs
 
 
 # ----------------------------------------------------------------------
@@ -168,6 +171,11 @@ class HarnessConfig:
     seed: int = 0
     #: planted mutation name, or None for the honest tree
     mutate: str | None = None
+    #: number of independent input sets (seeds ``seed .. seed+n-1``) run
+    #: through the batched engines per instance: the oracle and pygen run
+    #: every set (amortizing one compiled module), npgen runs them all in
+    #: a single vectorized batch, the coroutine simulator runs set 0
+    input_sets: int = 1
     #: run the generated module's threads-plus-bounded-queues engine too
     check_threaded: bool = False
     #: run the vectorized NumPy wavefront backend too (skipped silently
@@ -182,6 +190,12 @@ class HarnessConfig:
     check_partition: bool = False
     #: full pool-vs-serial ``sweep_designs`` comparison (expensive)
     check_pool: bool = False
+    #: metamorphic cache-stack invariants; on by default for direct harness
+    #: use, sampled on a deterministic cadence by the campaign driver
+    check_memo_ab: bool = True
+    check_pickle: bool = True
+    check_render_cache: bool = True
+    check_repeat: bool = True
     #: mismatches quoted per failure
     max_mismatches: int = 5
 
@@ -255,8 +269,19 @@ def _compare_state(oracle, got, *, tuple_keys: bool, limit: int) -> list[str]:
 # ----------------------------------------------------------------------
 # the harness
 # ----------------------------------------------------------------------
-def run_instance(instance, config: HarnessConfig | None = None) -> InstanceReport:
-    """Run every engine and invariant; never raises on a detected bug."""
+def run_instance(
+    instance,
+    config: HarnessConfig | None = None,
+    compiled: "CompiledInstance | None" = None,
+) -> InstanceReport:
+    """Run every engine and invariant; never raises on a detected bug.
+
+    The whole pipeline consumes one :class:`CompiledInstance` -- compiled
+    program, rendered module, inputs and oracle states are each built once
+    and shared by every check.  Pass ``compiled`` to reuse a pipeline built
+    elsewhere (it must wrap the same instance with the same mutation;
+    anything else is rebuilt).
+    """
     config = config or HarnessConfig()
     report = InstanceReport(instance=instance)
     program, env = instance.program, instance.env
@@ -277,21 +302,39 @@ def run_instance(instance, config: HarnessConfig | None = None) -> InstanceRepor
                 report.timings.get(name, 0.0) + time.perf_counter() - t0
             )
 
-    sp = checked("compile", lambda: compile_systolic(program, instance.array))
-    if sp is None:
-        return report
-    sp = apply_mutation(sp, config.mutate)
+    if (
+        compiled is None
+        or compiled.instance is not instance
+        or compiled.mutate != config.mutate
+    ):
+        compiled = checked(
+            "compile",
+            lambda: CompiledInstance.build(instance, mutate=config.mutate),
+        )
+        if compiled is None:
+            return report
+    sp = compiled.sp
 
-    inputs = random_inputs(program, env, seed=config.seed)
-    oracle = checked("oracle", lambda: run_sequential(program, env, inputs))
-    if oracle is None:
+    seeds = [config.seed + k for k in range(max(1, config.input_sets))]
+
+    def run_oracle():
+        return [compiled.oracle(s) for s in seeds]
+
+    oracles = checked("oracle", run_oracle)
+    if oracles is None:
         return report
+    oracle = oracles[0]
+    inputs = compiled.inputs(seeds[0])
 
     limit = config.max_mismatches
 
     # -- engines ---------------------------------------------------------
     def check_simulator():
-        final, _stats = execute(sp, env, inputs)
+        # input set 0 only: the coroutine simulator is the slowest engine
+        # and gains nothing from batching (no compiled artifact to reuse
+        # beyond the network plan, which the capacity/partition checks
+        # already share).  Timing off: only the values are compared.
+        final, _stats = execute(sp, env, inputs, timing=False)
         mism = _compare_state(oracle, final, tuple_keys=False, limit=limit)
         if mism:
             raise AssertionError("; ".join(mism))
@@ -301,11 +344,16 @@ def run_instance(instance, config: HarnessConfig | None = None) -> InstanceRepor
     pygen_result: dict = {}
 
     def check_pygen():
-        got = execute_python(sp, env, inputs)
-        mism = _compare_state(oracle, got, tuple_keys=True, limit=limit)
-        if mism:
-            raise AssertionError("; ".join(mism))
-        pygen_result["final"] = got
+        # every input set runs against the one cached module compilation
+        for seed in seeds:
+            got = execute_python(sp, env, compiled.inputs(seed))
+            mism = _compare_state(
+                compiled.oracle(seed), got, tuple_keys=True, limit=limit
+            )
+            if mism:
+                raise AssertionError(f"inputs seed {seed}: " + "; ".join(mism))
+            if seed == seeds[0]:
+                pygen_result["final"] = got
 
     checked("pygen", check_pygen)
 
@@ -317,62 +365,77 @@ def run_instance(instance, config: HarnessConfig | None = None) -> InstanceRepor
     checked("cross_check", check_enumerative)
 
     if config.check_npgen:
-        from repro.target.npgen import HAVE_NUMPY, execute_numpy
+        from repro.target.npgen import HAVE_NUMPY, execute_numpy_batch
         from repro.util.errors import BackendUnsupportedError
 
         def check_npgen():
             try:
-                got = execute_numpy(sp, env, inputs, use_cache=False)
+                # one vectorized pass over the whole input batch: the
+                # wavefront schedule is computed once for all sets
+                got_batch = execute_numpy_batch(
+                    sp, env, [compiled.inputs(s) for s in seeds], use_cache=False
+                )
             except BackendUnsupportedError:
                 return  # outside the integer value domain: a pass, not a bug
-            mism = _compare_state(oracle, got, tuple_keys=True, limit=limit)
-            if mism:
-                raise AssertionError("; ".join(mism))
+            for seed, got in zip(seeds, got_batch):
+                mism = _compare_state(
+                    compiled.oracle(seed), got, tuple_keys=True, limit=limit
+                )
+                if mism:
+                    raise AssertionError(
+                        f"inputs seed {seed}: " + "; ".join(mism)
+                    )
 
         if HAVE_NUMPY:
             checked("npgen", check_npgen)
 
     # -- metamorphic invariants -----------------------------------------
-    rendered = render_python(sp)
+    if config.check_memo_ab:
 
-    def check_memo_ab():
-        with _env_flag("REPRO_DISABLE_MEMO", "1"):
-            sp_cold = apply_mutation(
-                compile_systolic(program, instance.array), config.mutate
-            )
-        if render_python(sp_cold) != rendered:
-            raise AssertionError(
-                "rendered module differs with REPRO_DISABLE_MEMO=1"
-            )
+        def check_memo_ab():
+            with _env_flag("REPRO_DISABLE_MEMO", "1"):
+                sp_cold = apply_mutation(
+                    compile_systolic(program, instance.array), config.mutate
+                )
+            if render_python(sp_cold) != compiled.rendered:
+                raise AssertionError(
+                    "rendered module differs with REPRO_DISABLE_MEMO=1"
+                )
 
-    checked("memo_ab", check_memo_ab)
+        checked("memo_ab", check_memo_ab)
 
-    def check_pickle_reintern():
-        sp2 = pickle.loads(pickle.dumps(sp))
-        if render_python(sp2) != rendered:
-            raise AssertionError("pickle round-trip changes the rendering")
-        if cost_of_compiled(sp2, env) != cost_of_compiled(sp, env):
-            raise AssertionError("pickle round-trip changes the design cost")
+    if config.check_pickle:
 
-    checked("pickle_reintern", check_pickle_reintern)
+        def check_pickle_reintern():
+            sp2 = pickle.loads(pickle.dumps(sp))
+            if render_python(sp2) != compiled.rendered:
+                raise AssertionError("pickle round-trip changes the rendering")
+            if cost_of_compiled(sp2, env) != cost_of_compiled(sp, env):
+                raise AssertionError("pickle round-trip changes the design cost")
 
-    def check_render_cache():
-        with tempfile.TemporaryDirectory(prefix="repro-fuzz-cache-") as d:
-            miss = render_python_cached(sp, d)
-            hit = render_python_cached(sp, d)
-        if miss != rendered:
-            raise AssertionError("render-cache miss differs from direct render")
-        if hit != rendered:
-            raise AssertionError("render-cache hit differs from direct render")
+        checked("pickle_reintern", check_pickle_reintern)
 
-    checked("render_cache", check_render_cache)
+    if config.check_render_cache:
+
+        def check_render_cache():
+            with tempfile.TemporaryDirectory(prefix="repro-fuzz-cache-") as d:
+                miss = render_python_cached(sp, d)
+                hit = render_python_cached(sp, d)
+            if miss != compiled.rendered:
+                raise AssertionError(
+                    "render-cache miss differs from direct render"
+                )
+            if hit != compiled.rendered:
+                raise AssertionError("render-cache hit differs from direct render")
+
+        checked("render_cache", check_render_cache)
 
     def check_repeat_execution():
         again = execute_python(sp, env, inputs)  # module-cache hit
         if again != pygen_result.get("final", again):
             raise AssertionError("repeated execution (module-cache hit) differs")
 
-    if "final" in pygen_result:
+    if config.check_repeat and "final" in pygen_result:
         checked("repeat_execution", check_repeat_execution)
 
     if config.check_threaded:
@@ -388,7 +451,11 @@ def run_instance(instance, config: HarnessConfig | None = None) -> InstanceRepor
     if config.check_capacity:
 
         def check_capacity():
-            final, _stats = execute(sp, env, inputs, channel_capacity=3)
+            # instantiates from the same cached NetworkPlan as the main
+            # simulator run -- only the channel capacities differ
+            final, _stats = execute(
+                sp, env, inputs, channel_capacity=3, timing=False
+            )
             mism = _compare_state(oracle, final, tuple_keys=False, limit=limit)
             if mism:
                 raise AssertionError("; ".join(mism))
@@ -432,14 +499,25 @@ def run_instance(instance, config: HarnessConfig | None = None) -> InstanceRepor
         def check_pool():
             from repro.parallel import sweep_designs
 
+            # A capped sweep: the invariant under test is serial/pool
+            # agreement (task order, memo shipping, rank merging), which a
+            # deterministic prefix of the candidate space exercises just as
+            # well as the full space at a fraction of the cost.
+            cap = 4
             serial = sweep_designs(
-                program, instance.array.step, [env], bound=1, jobs=1
+                program,
+                instance.array.step,
+                [env],
+                bound=1,
+                max_candidates=cap,
+                jobs=1,
             )
             pooled = sweep_designs(
                 program,
                 instance.array.step,
                 [env],
                 bound=1,
+                max_candidates=cap,
                 jobs=2,
                 force_pool=True,
             )

@@ -23,6 +23,26 @@ from repro.util.errors import GeometryError, SingularMatrixError
 
 T = TypeVar("T")
 
+#: elimination memo -- Matrix is immutable and hashable by ``rows``, and the
+#: bounded synthesis search revisits the same small integer matrices
+#: constantly (every place candidate shares rows with its neighbours, and
+#: fuzz instances draw coefficients from the same tiny set), so rank /
+#: null-space / inverse results are cached globally keyed on the rows.
+#: Bounded like the flow cache: cleared wholesale at the limit.
+_ELIM_CACHE_LIMIT = 16384
+_rank_cache: dict = {}
+_null_basis_cache: dict = {}
+_inverse_cache: dict = {}
+_elim_stats = {"rank_hits": 0, "rank_misses": 0, "null_hits": 0,
+               "null_misses": 0, "inv_hits": 0, "inv_misses": 0}
+
+
+def _elim_cache_put(cache: dict, key, value):
+    if len(cache) >= _ELIM_CACHE_LIMIT:
+        cache.clear()
+    cache[key] = value
+    return value
+
 
 class Matrix:
     """An immutable exact rational matrix (row-major)."""
@@ -164,15 +184,28 @@ class Matrix:
 
     @property
     def rank(self) -> int:
-        """The rank of the matrix (exact)."""
-        return sum(1 for row in self._echelon() if any(c != 0 for c in row))
+        """The rank of the matrix (exact; memoized on the rows)."""
+        cached = _rank_cache.get(self.rows)
+        if cached is not None:
+            _elim_stats["rank_hits"] += 1
+            return cached
+        _elim_stats["rank_misses"] += 1
+        result = sum(1 for row in self._echelon() if any(c != 0 for c in row))
+        return _elim_cache_put(_rank_cache, self.rows, result)
 
     def null_space_basis(self) -> list[Point]:
         """An exact basis of the null space, as integral vectors.
 
         Each basis vector is scaled to have integer coprime components
         (multiplied by the lcm of denominators and divided by the gcd).
+        Memoized on the rows; a fresh list is returned each call (the
+        :class:`Point` entries are immutable and shared).
         """
+        cached = _null_basis_cache.get(self.rows)
+        if cached is not None:
+            _elim_stats["null_hits"] += 1
+            return list(cached)
+        _elim_stats["null_misses"] += 1
         reduced = self._echelon()
         ncols = self.ncols
         pivots: dict[int, int] = {}
@@ -196,6 +229,7 @@ class Matrix:
             for v in ints:
                 g = math.gcd(g, abs(v))
             basis.append(Point(v // g for v in ints))
+        _elim_cache_put(_null_basis_cache, self.rows, tuple(basis))
         return basis
 
     def determinant(self) -> Fraction:
@@ -221,10 +255,15 @@ class Matrix:
         return det
 
     def inverse(self) -> "Matrix":
-        """The exact inverse of a square matrix.
+        """The exact inverse of a square matrix (memoized on the rows).
 
         Raises :class:`SingularMatrixError` if the matrix is singular.
         """
+        cached = _inverse_cache.get(self.rows)
+        if cached is not None:
+            _elim_stats["inv_hits"] += 1
+            return cached
+        _elim_stats["inv_misses"] += 1
         n = self.nrows
         if n != self.ncols:
             raise GeometryError(f"inverse of non-square {self.shape} matrix")
@@ -243,7 +282,14 @@ class Matrix:
                 if r != col and work[r][col] != 0:
                     factor = work[r][col]
                     work[r] = [a - factor * b for a, b in zip(work[r], work[col])]
-        return Matrix(row[n:] for row in work)
+        return _elim_cache_put(
+            _inverse_cache, self.rows, Matrix(row[n:] for row in work)
+        )
+
+
+from repro import profiling  # noqa: E402
+
+profiling.register("linalg_elim", lambda: dict(_elim_stats))
 
 
 def identity(n: int) -> Matrix:

@@ -23,6 +23,12 @@ from typing import Iterable, Sequence
 
 from repro.util.errors import GeometryError
 
+#: global feasibility memo keyed by the canonicalized integer rows; see
+#: :func:`fourier_motzkin_feasible`
+_fm_cache: dict = {}
+_FM_STATS = {"hits": 0, "misses": 0}
+_FM_CACHE_LIMIT = 32768
+
 
 @dataclass(frozen=True)
 class LinearConstraint:
@@ -133,6 +139,58 @@ def _eliminate(rows: list[tuple[int, ...]], var: int) -> list[tuple[int, ...]] |
     return out
 
 
+def canonical_int_row(entries: Sequence[Fraction]) -> tuple[int, ...] | bool:
+    """Scale ``(coeffs..., const)`` to a reduced integer row.
+
+    Returns ``True``/``False`` directly for a trivial (variable-free) row.
+    Feasibility is invariant under positive scaling, so a row canonicalized
+    this way can be compared and memoized in machine-int arithmetic.
+    """
+    lcm = 1
+    for e in entries:
+        d = e.denominator
+        if d != 1:
+            lcm = lcm * d // math.gcd(lcm, d)
+    row = tuple(int(e * lcm) for e in entries)
+    for x in row[:-1]:
+        if x:
+            return _reduce_row(row)
+    return row[-1] >= 0
+
+
+def feasible_int_rows(rows: Sequence[tuple[int, ...]], dim: int) -> bool:
+    """Feasibility of already-canonical integer rows (see above).
+
+    Distinct guards constantly reduce to the same canonical integer system
+    (the scheme's coefficient space is tiny), so feasibility is memoized
+    globally on the rows -- unlike any per-guard memo this hits across
+    designs and across fuzz instances.  Row order is irrelevant to
+    feasibility, hence the sorted key.
+    """
+    key = (dim, tuple(sorted(set(rows))))
+    cached = _fm_cache.get(key)
+    if cached is not None:
+        _FM_STATS["hits"] += 1
+        return cached
+    _FM_STATS["misses"] += 1
+    work = list(rows)
+    feasible = True
+    for var in range(dim):
+        result = _eliminate(work, var)
+        if result is None:
+            feasible = False
+            break
+        work = result
+    else:
+        # By construction every surviving row still involves a variable or
+        # was discharged when derived; keep the constant check for safety.
+        feasible = all(row[-1] >= 0 for row in work)
+    if len(_fm_cache) >= _FM_CACHE_LIMIT:
+        _fm_cache.clear()
+    _fm_cache[key] = feasible
+    return feasible
+
+
 def fourier_motzkin_feasible(
     constraints: Sequence[LinearConstraint], dim: int
 ) -> bool:
@@ -150,26 +208,10 @@ def fourier_motzkin_feasible(
     for c in constraints:
         if c.dim != dim:
             raise GeometryError("constraint dimension mismatch")
-        entries = tuple(c.coeffs) + (c.const,)
-        lcm = 1
-        for e in entries:
-            d = e.denominator
-            if d != 1:
-                lcm = lcm * d // math.gcd(lcm, d)
-        row = tuple(int(e * lcm) for e in entries)
-        for x in row[:-1]:
-            if x:
-                break
-        else:
-            if row[-1] < 0:
-                return False
-            continue  # trivially true
-        work.append(_reduce_row(row))
-    for var in range(dim):
-        result = _eliminate(work, var)
-        if result is None:
+        row = canonical_int_row(tuple(c.coeffs) + (c.const,))
+        if row is True:
+            continue
+        if row is False:
             return False
-        work = result
-    # By construction every surviving row still involves a variable or was
-    # discharged when derived, but keep the final constant check for safety.
-    return all(row[-1] >= 0 for row in work)
+        work.append(row)
+    return feasible_int_rows(work, dim)

@@ -179,6 +179,7 @@ def sweep_designs(
     *,
     bound: int = 1,
     limit: int | None = None,
+    max_candidates: int | None = None,
     jobs: int | None = None,
     force_pool: bool = False,
 ) -> SweepResult:
@@ -188,6 +189,11 @@ def sweep_designs(
     ``envs``; ``jobs`` > 1 distributes candidates over a process pool.  The
     per-size tables are ranked exactly like serial
     :func:`repro.systolic.explore.explore_designs` output.
+
+    ``max_candidates`` truncates the candidate space to its deterministic
+    enumeration prefix -- a cost cap for callers (like the fuzz harness's
+    pool-vs-serial comparison) that need a representative sweep, not an
+    exhaustive one.  ``timings.candidates`` reports the truncated count.
 
     The effective worker count is clamped to the candidate count, and the
     sweep falls back to the serial path -- emitting a
@@ -201,6 +207,12 @@ def sweep_designs(
     t_start = time.perf_counter()
     size_envs = [dict(e) for e in envs]
     tasks = candidate_tasks(program, step, bound=bound)
+    if max_candidates is not None:
+        if max_candidates < 1:
+            raise ValueError(
+                f"max_candidates must be >= 1, got {max_candidates}"
+            )
+        tasks = tasks[:max_candidates]
     t_synth = time.perf_counter()
 
     results, pool_jobs = pool_map(

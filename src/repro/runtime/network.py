@@ -25,12 +25,28 @@ Computation processes follow the appendix phase order: stationary loads,
 then moving soaks (in stream order); the repeater loop with par-receives
 and par-sends around the basic statement; then moving drains and stationary
 recoveries.
+
+Construction is split in two so repeated executions of one design skip the
+symbolic work entirely:
+
+* a :class:`NetworkPlan` captures everything derivable from ``(sp, env)``
+  alone -- chain enumeration, channel names and endpoints, per-node
+  amounts, pipe element lists, pre-bound process factories -- and is
+  memoized per compiled program (:func:`network_plan`);
+* :meth:`NetworkPlan.instantiate` wires fresh channels and generators into
+  a runnable :class:`ProcessNetwork` in one linear pass, preserving the
+  exact channel/process creation order (and hence the deterministic FIFO
+  interleaving) of the original single-shot builder.
 """
 
 from __future__ import annotations
 
+import time
+import weakref
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterator, Mapping
+
+from repro import profiling
 
 from repro.core.program import StreamPlan, SystolicProgram
 from repro.geometry.point import Point
@@ -77,8 +93,8 @@ class ProcessNetwork:
     #: amounts the builder evaluated once while wiring the compute nodes
     amounts: dict = field(default_factory=dict)
 
-    def run(self, max_rounds: int | None = None) -> SchedulerStats:
-        return self.scheduler.run(max_rounds=max_rounds)
+    def run(self, max_rounds: int | None = None, *, timing: bool = True) -> SchedulerStats:
+        return self.scheduler.run(max_rounds=max_rounds, timing=timing)
 
     def validate_topology(self) -> None:
         """Pre-flight conservation check: at every computation process, the
@@ -112,44 +128,130 @@ class ProcessNetwork:
                     )
 
 
-class _NetworkBuilder:
-    def __init__(
-        self,
-        sp: SystolicProgram,
-        env: Mapping[str, Numeric],
-        host: Host,
-        channel_capacity: int,
-        worker_of: Callable[[Point], int] | None = None,
-        interband_capacity: int = 2,
-    ) -> None:
+#: a process factory: given the instantiation's channel list and host,
+#: return the live generator for one process
+_Factory = Callable[[list[Channel], Host], Any]
+
+
+class NetworkPlan:
+    """Everything :func:`build_network` can derive from ``(sp, env)`` alone.
+
+    The plan holds channel *specs* (name + process-space endpoints) and
+    process *factories* (closures over precomputed amounts, element lists
+    and channel indices); :meth:`instantiate` binds them to fresh
+    :class:`Channel`/generator objects.  One plan serves any number of
+    executions, any channel capacity, and any LSGP ``worker_of`` fold --
+    those are instantiation-time choices.
+    """
+
+    __slots__ = (
+        "sp", "env", "channel_names", "channel_ends", "processes",
+        "node_counts", "chain_totals", "amounts", "_validated",
+        "__weakref__",
+    )
+
+    def __init__(self, sp: SystolicProgram, env: Mapping[str, Numeric]) -> None:
         self.sp = sp
         self.env = dict(env)
-        self.host = host
-        self.capacity = channel_capacity
-        #: optional LSGP fold: maps a PS point to its physical worker; a
-        #: channel whose endpoints land on different workers becomes an
-        #: inter-band buffer with ``interband_capacity`` slots
-        self.worker_of = worker_of
-        self.interband_capacity = interband_capacity
-        self.interband_channels = 0
-        self.scheduler = Scheduler()
-        self.space = sp.process_space(env)
-        #: per stream name: {point: channel} for the link INTO / OUT OF a node
-        self.in_chan: dict[str, dict[Point, Channel]] = {}
-        self.out_chan: dict[str, dict[Point, Channel]] = {}
-        #: per (stream, node): the whole-pipe element count of that node's
-        #: chain -- the authoritative Eq. 10 value, forced to 0 for chains
-        #: that never meet the computation space (Section 6.4's definition;
-        #: the closed-form guards assume integral endpoints and can be
-        #: fooled on all-buffer pipes of designs outside the paper's four)
-        self.chain_total: dict[tuple[str, Point], int] = {}
-        self.node_counts = {"compute": 0, "buffer": 0, "latch": 0, "input": 0, "output": 0}
-        #: memoized per-point symbolic work, shared by the stream wiring,
-        #: the node construction and validate_topology: binding dicts,
-        #: CS membership, and (count, {stream: (soak, drain)}) amounts
+        self.channel_names: list[str] = []
+        self.channel_ends: list[tuple[Point | None, Point | None]] = []
+        self.processes: list[tuple[str, _Factory]] = []
+        self.node_counts = {
+            "compute": 0, "buffer": 0, "latch": 0, "input": 0, "output": 0
+        }
+        self.chain_totals: dict[tuple[str, Point], int] = {}
+        self.amounts: dict[Point, tuple[int, dict[str, tuple[int, int]]]] = {}
+        self._validated = False
+        _PlanBuilder(self).build()
+
+    # ------------------------------------------------------------------
+    def validate(self) -> None:
+        """The conservation check of ``ProcessNetwork.validate_topology``,
+        run once per plan instead of once per execution."""
+        if self._validated:
+            return
+        for y, (count, per_stream) in self.amounts.items():
+            for plan in self.sp.streams:
+                total = self.chain_totals.get((plan.name, y))
+                if total is None:
+                    raise RuntimeSimulationError(
+                        f"no chain covers {plan.name} at {y}"
+                    )
+                soak, drain = per_stream[plan.name]
+                middle = 1 if plan.stationary else count
+                if soak + middle + drain != total:
+                    raise RuntimeSimulationError(
+                        f"conservation violated for {plan.name} at {y}: "
+                        f"{soak} + {middle} + {drain} != {total}"
+                    )
+        self._validated = True
+
+    def instantiate(
+        self,
+        inputs: Mapping[str, Mapping[Point, RuntimeValue] | int] | None = None,
+        *,
+        channel_capacity: int = 1,
+        worker_of: Callable[[Point], int] | None = None,
+        interband_capacity: int = 2,
+        host: Host | None = None,
+    ) -> ProcessNetwork:
+        """Wire fresh channels and processes; linear in the network size.
+
+        Channel and process creation order match the plan's build order
+        exactly, so every instantiation executes the same deterministic
+        FIFO interleaving.
+        """
+        if host is None:
+            host = Host(self.sp.source, self.env, inputs)
+        scheduler = Scheduler()
+        interband = 0
+        channels: list[Channel] = []
+        if worker_of is None:
+            for name in self.channel_names:
+                channels.append(Channel(name, capacity=channel_capacity))
+        else:
+            for name, (src, dst) in zip(self.channel_names, self.channel_ends):
+                capacity = channel_capacity
+                if (
+                    src is not None
+                    and dst is not None
+                    and worker_of(src) != worker_of(dst)
+                ):
+                    capacity = max(capacity, interband_capacity)
+                    interband += 1
+                channels.append(Channel(name, capacity=capacity))
+        for chan in channels:
+            scheduler.add_channel(chan)
+        for name, factory in self.processes:
+            scheduler.spawn(name, factory(channels, host))
+        return ProcessNetwork(
+            program=self.sp,
+            env=self.env,
+            host=host,
+            scheduler=scheduler,
+            channel_capacity=channel_capacity,
+            node_counts=self.node_counts,
+            chain_totals=self.chain_totals,
+            amounts=self.amounts,
+            interband_channels=interband,
+        )
+
+
+class _PlanBuilder:
+    """Builds a :class:`NetworkPlan`: same traversal as the original
+    single-shot network builder (channel/process order is preserved), but
+    emitting channel specs and process factories instead of live objects."""
+
+    def __init__(self, plan: NetworkPlan) -> None:
+        self.plan = plan
+        self.sp = plan.sp
+        self.env = plan.env
+        self.space = self.sp.process_space(self.env)
+        #: per stream name: {point: channel index} for links INTO / OUT OF a node
+        self.in_chan: dict[str, dict[Point, int]] = {}
+        self.out_chan: dict[str, dict[Point, int]] = {}
         self._bindings: dict[Point, dict] = {}
         self._in_cs_cache: dict[Point, bool] = {}
-        self.amounts: dict[Point, tuple[int, dict[str, tuple[int, int]]]] = {}
 
     def _bind(self, y: Point) -> dict:
         binding = self._bindings.get(y)
@@ -169,17 +271,10 @@ class _NetworkBuilder:
     # ------------------------------------------------------------------
     def _channel(
         self, name: str, src: Point | None = None, dst: Point | None = None
-    ) -> Channel:
-        capacity = self.capacity
-        if (
-            self.worker_of is not None
-            and src is not None
-            and dst is not None
-            and self.worker_of(src) != self.worker_of(dst)
-        ):
-            capacity = max(capacity, self.interband_capacity)
-            self.interband_channels += 1
-        return self.scheduler.add_channel(Channel(name, capacity=capacity))
+    ) -> int:
+        self.plan.channel_names.append(name)
+        self.plan.channel_ends.append((src, dst))
+        return len(self.plan.channel_names) - 1
 
     def _chains(self, hop: Point) -> Iterator[list[Point]]:
         for y in self.space:
@@ -193,17 +288,23 @@ class _NetworkBuilder:
             yield chain
 
     # ------------------------------------------------------------------
-    def _latch_process(self, chan_in: Channel, chan_out: Channel, count: int):
-        def body():
-            for _ in range(count):
-                value = yield Recv(chan_in)
-                yield Send(chan_out, value)
+    @staticmethod
+    def _latch_factory(cin: int, cout: int, count: int) -> _Factory:
+        def make(channels: list[Channel], host: Host):
+            recv = Recv(channels[cin])
+            chan_out = channels[cout]
 
-        return body()
+            def body():
+                for _ in range(count):
+                    value = yield recv
+                    yield Send(chan_out, value)
+
+            return body()
+
+        return make
 
     def _build_stream(self, plan: StreamPlan) -> None:
         """Pipes, latches and i/o processes for one stream."""
-        sp, env = self.sp, self.env
         name = plan.name
         self.in_chan[name] = {}
         self.out_chan[name] = {}
@@ -216,9 +317,8 @@ class _NetworkBuilder:
             else:
                 total = 0  # no basic statement on the pipe: nothing to move
             for z in chain:
-                self.chain_total[(name, z)] = total
+                self.plan.chain_totals[(name, z)] = total
             # channels along the chain; latches on every link into a node
-            upstream: Channel | None = None
             for idx, y in enumerate(chain):
                 src = f"{name}_in" if idx == 0 else f"{name}{chain[idx - 1]}"
                 link_in = self._channel(
@@ -233,26 +333,42 @@ class _NetworkBuilder:
                 feed = link_in
                 for k in range(latches):
                     buffered = self._channel(f"{name}_buff[{y}#{k}]")
-                    self.scheduler.spawn(
-                        f"L:{name}{y}#{k}", self._latch_process(feed, buffered, total)
+                    self.plan.processes.append(
+                        (f"L:{name}{y}#{k}", self._latch_factory(feed, buffered, total))
                     )
-                    self.node_counts["latch"] += 1
+                    self.plan.node_counts["latch"] += 1
                     feed = buffered
                 self.in_chan[name][y] = feed
-                upstream = link_in
             tail = self._channel(f"{name}_chan[{end}->out]")
             self.out_chan[name][end] = tail
             # i/o processes (null pipes still get processes that do nothing,
             # like the paper's null communications)
             elements = list(self._pipe_elements(plan, binding, total))
-            self.scheduler.spawn(
-                f"IN:{name}{start}", self._input_process(plan, head_channel, elements)
-            )
-            self.scheduler.spawn(
-                f"OUT:{name}{end}", self._output_process(plan, tail, elements)
-            )
-            self.node_counts["input"] += 1
-            self.node_counts["output"] += 1
+            var = name
+
+            def make_input(channels, host, *, _chan=head_channel, _elems=elements, _var=var):
+                chan = channels[_chan]
+
+                def body():
+                    for element in _elems:
+                        yield Send(chan, host.read_element(_var, element))
+
+                return body()
+
+            def make_output(channels, host, *, _chan=tail, _elems=elements, _var=var):
+                recv = Recv(channels[_chan])
+
+                def body():
+                    for element in _elems:
+                        value = yield recv
+                        host.write_element(_var, element, value)
+
+                return body()
+
+            self.plan.processes.append((f"IN:{name}{start}", make_input))
+            self.plan.processes.append((f"OUT:{name}{end}", make_output))
+            self.plan.node_counts["input"] += 1
+            self.plan.node_counts["output"] += 1
 
     def _pipe_elements(
         self, plan: StreamPlan, binding: Mapping[str, Numeric], total: int
@@ -273,46 +389,33 @@ class _NetworkBuilder:
             yield current
             current = current + plan.increment_s
 
-    def _input_process(self, plan: StreamPlan, chan: Channel, elements: list[Point]):
-        host, var = self.host, plan.name
-
-        def body():
-            for element in elements:
-                yield Send(chan, host.read_element(var, element))
-
-        return body()
-
-    def _output_process(self, plan: StreamPlan, chan: Channel, elements: list[Point]):
-        host, var = self.host, plan.name
-
-        def body():
-            for element in elements:
-                value = yield Recv(chan)
-                host.write_element(var, element, value)
-
-        return body()
-
     # ------------------------------------------------------------------
     def _build_buffer_node(self, y: Point) -> None:
         """PS \\ CS: one parallel pass-loop per stream (E.2.7 buffer code)."""
         for plan in self.sp.streams:
-            amount = self.chain_total[(plan.name, y)]
-            chan_in = self.in_chan[plan.name][y]
-            chan_out = self.out_chan[plan.name][y]
-            self.scheduler.spawn(
-                f"B:{plan.name}{y}", self._latch_process(chan_in, chan_out, amount)
+            amount = self.plan.chain_totals[(plan.name, y)]
+            cin = self.in_chan[plan.name][y]
+            cout = self.out_chan[plan.name][y]
+            self.plan.processes.append(
+                (f"B:{plan.name}{y}", self._latch_factory(cin, cout, amount))
             )
-        self.node_counts["buffer"] += 1
+        self.plan.node_counts["buffer"] += 1
 
     def _build_compute_node(self, y: Point) -> None:
-        sp, env, host = self.sp, self.env, self.host
+        sp, env = self.sp, self.env
         binding = self._bind(y)
-        statements = list(sp.repeater.enumerate_at(binding))
         source = sp.source
         body_ast = source.body
-        stationary = [p for p in sp.streams if p.stationary]
-        moving = [p for p in sp.streams if not p.stationary]
+        stationary = tuple(p.name for p in sp.streams if p.stationary)
+        moving = tuple(p.name for p in sp.streams if not p.stationary)
         index_base = {k: int(v) for k, v in env.items()}
+        # Body.execute treats the index binding as read-only, so the merged
+        # per-statement index environments are computed once per plan and
+        # shared by every execution.
+        index_envs = [
+            dict(index_base, **source.index_env(x))
+            for x in sp.repeater.enumerate_at(binding)
+        ]
 
         amounts = {
             p.name: (
@@ -321,77 +424,85 @@ class _NetworkBuilder:
             )
             for p in sp.streams
         }
-        self.amounts[y] = (_as_count(sp.count.evaluate(binding)), amounts)
-        in_ch = {p.name: self.in_chan[p.name][y] for p in sp.streams}
-        out_ch = {p.name: self.out_chan[p.name][y] for p in sp.streams}
+        self.plan.amounts[y] = (_as_count(sp.count.evaluate(binding)), amounts)
+        in_idx = {p.name: self.in_chan[p.name][y] for p in sp.streams}
+        out_idx = {p.name: self.out_chan[p.name][y] for p in sp.streams}
 
-        def body():
-            local: dict[str, RuntimeValue] = {}
-            # -- pre phase: stationary loads, then moving soaks ----------
-            for p in stationary:
-                soak, drain = amounts[p.name]
-                local[p.name] = yield Recv(in_ch[p.name])
-                for _ in range(drain):  # loading passes = drain (Sect. 6.5)
-                    value = yield Recv(in_ch[p.name])
-                    yield Send(out_ch[p.name], value)
-            # Soak passes are interleaved round-robin across the moving
-            # streams (one element per stream per round, in declaration
-            # order) rather than one stream at a time.  With bounded
-            # channels, a node that insists on finishing stream A's soak
-            # can deadlock against a neighbour that is blocked mid-way
-            # through stream B: the neighbour's repeater (which emits one
-            # element of *every* stream per statement) never runs, so A's
-            # supply dries up.  Round-robin keeps every node's demand
-            # aligned with the one-per-stream-per-tick order in which the
-            # repeaters upstream produce.  Per-stream FIFO order -- and
-            # hence every computed value -- is unchanged.
-            soak_left = {p.name: amounts[p.name][0] for p in moving}
-            while any(soak_left.values()):
-                for p in moving:
-                    if soak_left[p.name]:
-                        soak_left[p.name] -= 1
-                        value = yield Recv(in_ch[p.name])
-                        yield Send(out_ch[p.name], value)
-            # -- the repeater: the basic statements of this process ------
-            for x in statements:
-                indices = dict(index_base)
-                indices.update(source.index_env(x))
-                if moving:
-                    received = yield Par([Recv(in_ch[p.name]) for p in moving])
-                else:
-                    received = []
-                values = dict(zip((p.name for p in moving), received))
-                values.update(local)
-                updated = body_ast.execute(values, indices)
-                for p in stationary:
-                    local[p.name] = updated[p.name]
-                if moving:
-                    yield Par(
-                        [Send(out_ch[p.name], updated[p.name]) for p in moving]
-                    )
-            # -- post phase: moving drains, then stationary recoveries ---
-            # Drain passes round-robin for the same reason as the soaks:
-            # the node upstream may still be in its repeater, emitting one
-            # element of every stream per statement.
-            drain_left = {p.name: amounts[p.name][1] for p in moving}
-            while any(drain_left.values()):
-                for p in moving:
-                    if drain_left[p.name]:
-                        drain_left[p.name] -= 1
-                        value = yield Recv(in_ch[p.name])
-                        yield Send(out_ch[p.name], value)
-            for p in stationary:
-                soak, _ = amounts[p.name]
-                for _ in range(soak):  # recovery passes = soak (Sect. 6.5)
-                    value = yield Recv(in_ch[p.name])
-                    yield Send(out_ch[p.name], value)
-                yield Send(out_ch[p.name], local[p.name])
+        def make(channels: list[Channel], host: Host):
+            in_ch = {n: channels[i] for n, i in in_idx.items()}
+            out_ch = {n: channels[i] for n, i in out_idx.items()}
+            # One reusable Recv per input channel (and one Par of them for
+            # the repeater): requests carry no per-use state, and a process
+            # never has two outstanding requests, so reuse is safe and
+            # saves an allocation per communication.
+            recv = {n: Recv(c) for n, c in in_ch.items()}
+            par_recv = Par([recv[n] for n in moving]) if moving else None
 
-        self.scheduler.spawn(f"P{y}", body())
-        self.node_counts["compute"] += 1
+            def body():
+                local: dict[str, RuntimeValue] = {}
+                # -- pre phase: stationary loads, then moving soaks ----------
+                for n in stationary:
+                    soak, drain = amounts[n]
+                    local[n] = yield recv[n]
+                    for _ in range(drain):  # loading passes = drain (Sect. 6.5)
+                        value = yield recv[n]
+                        yield Send(out_ch[n], value)
+                # Soak passes are interleaved round-robin across the moving
+                # streams (one element per stream per round, in declaration
+                # order) rather than one stream at a time.  With bounded
+                # channels, a node that insists on finishing stream A's soak
+                # can deadlock against a neighbour that is blocked mid-way
+                # through stream B: the neighbour's repeater (which emits one
+                # element of *every* stream per statement) never runs, so A's
+                # supply dries up.  Round-robin keeps every node's demand
+                # aligned with the one-per-stream-per-tick order in which the
+                # repeaters upstream produce.  Per-stream FIFO order -- and
+                # hence every computed value -- is unchanged.
+                soak_left = {n: amounts[n][0] for n in moving}
+                while any(soak_left.values()):
+                    for n in moving:
+                        if soak_left[n]:
+                            soak_left[n] -= 1
+                            value = yield recv[n]
+                            yield Send(out_ch[n], value)
+                # -- the repeater: the basic statements of this process ------
+                for indices in index_envs:
+                    if par_recv is not None:
+                        received = yield par_recv
+                    else:
+                        received = []
+                    values = dict(zip(moving, received))
+                    values.update(local)
+                    updated = body_ast.execute(values, indices)
+                    for n in stationary:
+                        local[n] = updated[n]
+                    if moving:
+                        yield Par([Send(out_ch[n], updated[n]) for n in moving])
+                # -- post phase: moving drains, then stationary recoveries ---
+                # Drain passes round-robin for the same reason as the soaks:
+                # the node upstream may still be in its repeater, emitting one
+                # element of every stream per statement.
+                drain_left = {n: amounts[n][1] for n in moving}
+                while any(drain_left.values()):
+                    for n in moving:
+                        if drain_left[n]:
+                            drain_left[n] -= 1
+                            value = yield recv[n]
+                            yield Send(out_ch[n], value)
+                for n in stationary:
+                    soak, _ = amounts[n]
+                    for _ in range(soak):  # recovery passes = soak (Sect. 6.5)
+                        value = yield recv[n]
+                        yield Send(out_ch[n], value)
+                    yield Send(out_ch[n], local[n])
+
+            return body()
+
+        self.plan.processes.append((f"P{y}", make))
+        self.plan.node_counts["compute"] += 1
 
     # ------------------------------------------------------------------
-    def build(self) -> ProcessNetwork:
+    def build(self) -> None:
         for plan in self.sp.streams:
             self._build_stream(plan)
         for y in self.space:
@@ -399,17 +510,57 @@ class _NetworkBuilder:
                 self._build_compute_node(y)
             else:
                 self._build_buffer_node(y)
-        return ProcessNetwork(
-            program=self.sp,
-            env=self.env,
-            host=self.host,
-            scheduler=self.scheduler,
-            channel_capacity=self.capacity,
-            node_counts=self.node_counts,
-            chain_totals=self.chain_total,
-            amounts=self.amounts,
-            interband_channels=self.interband_channels,
-        )
+
+
+# ----------------------------------------------------------------------
+# plan cache
+# ----------------------------------------------------------------------
+#: id(compiled program) -> (weakref to it, {env key: NetworkPlan}).  Keyed
+#: by identity -- SystolicProgram carries unhashable members -- with a
+#: finalizer evicting the entry when the program dies, so plans never pin
+#: every design a campaign ever built.  The stored weakref guards against
+#: id reuse: a recycled id with a dangling ref rebuilds instead of serving
+#: another program's plan.
+_plans: dict[int, tuple["weakref.ref", dict]] = {}
+_PLAN_STATS = {"builds": 0, "reuses": 0}
+_PLANS_PER_PROGRAM = 8
+
+
+def plan_stats() -> dict:
+    """Build/reuse counters of the plan cache (reset never; monotonic)."""
+    return dict(_PLAN_STATS)
+
+
+profiling.register("network_plans", plan_stats)
+
+
+def network_plan(
+    sp: SystolicProgram, env: Mapping[str, Numeric]
+) -> NetworkPlan:
+    """The memoized :class:`NetworkPlan` for ``(sp, env)``.
+
+    Keyed on the compiled program *object* and the concrete size binding,
+    so every execution path of one instance -- the simulator, the
+    capacity-invariance re-run, the LSGP fold -- shares one plan.
+    """
+    key_id = id(sp)
+    entry = _plans.get(key_id)
+    if entry is None or entry[0]() is not sp:
+        per_program: dict = {}
+        _plans[key_id] = (weakref.ref(sp), per_program)
+        weakref.finalize(sp, _plans.pop, key_id, None)
+    else:
+        per_program = entry[1]
+    key = tuple(sorted(env.items()))
+    plan = per_program.get(key)
+    if plan is None:
+        if len(per_program) >= _PLANS_PER_PROGRAM:
+            per_program.clear()
+        plan = per_program[key] = NetworkPlan(sp, env)
+        _PLAN_STATS["builds"] += 1
+    else:
+        _PLAN_STATS["reuses"] += 1
+    return plan
 
 
 def build_network(
@@ -429,15 +580,12 @@ def build_network(
     ``channel_capacity``.  Extra buffer space never changes results (Kahn
     determinism) -- only the timing model.
     """
-    host = Host(sp.source, env, inputs)
-    return _NetworkBuilder(
-        sp,
-        env,
-        host,
-        channel_capacity,
+    return network_plan(sp, env).instantiate(
+        inputs,
+        channel_capacity=channel_capacity,
         worker_of=worker_of,
         interband_capacity=interband_capacity,
-    ).build()
+    )
 
 
 def execute(
@@ -448,17 +596,26 @@ def execute(
     channel_capacity: int = 1,
     max_rounds: int | None = None,
     validate: bool = True,
+    timing: bool = True,
 ) -> tuple[dict, SchedulerStats]:
     """Build, run, and return ``(final variable state, stats)``.
 
     ``validate`` runs the pre-flight conservation check (better diagnostics
     than a deadlock); every element of every variable must be recovered
-    exactly once.
+    exactly once.  It is performed once per plan, not once per run.
+    ``timing=False`` skips the Lamport-clock bookkeeping (stats carry zero
+    makespan); values, deadlock detection and FIFO order are unaffected.
     """
-    network = build_network(sp, env, inputs, channel_capacity=channel_capacity)
+    t0 = time.perf_counter()
+    plan = network_plan(sp, env)
     if validate:
-        network.validate_topology()
-    stats = network.run(max_rounds=max_rounds)
-    for plan in sp.streams:
-        network.host.check_full_recovery(plan.name)
+        plan.validate()
+    network = plan.instantiate(inputs, channel_capacity=channel_capacity)
+    t1 = time.perf_counter()
+    stats = network.run(max_rounds=max_rounds, timing=timing)
+    for splan in sp.streams:
+        network.host.check_full_recovery(splan.name)
+    t2 = time.perf_counter()
+    profiling.add_stage("network.build", t1 - t0)
+    profiling.add_stage("network.execute", t2 - t1)
     return network.host.final, stats

@@ -91,6 +91,14 @@ class Scheduler:
         #: (the paper's Section 8 "not enough processors" scenario)
         self._worker_of: dict[str, int] | None = None
         self._worker_clock: dict[int, int] = {}
+        #: optional trace hook ``(process name, clock, kind) -> None``,
+        #: called once per completed request at the moment the process
+        #: resumes.  ``None`` (the default) costs one pointer test per
+        #: resume -- the zero-cost-when-off replacement for the old
+        #: generator-wrapping instrumentation (see repro.runtime.trace).
+        self._trace: Any = None
+        #: whether the current run maintains Lamport clocks (set by run())
+        self._timing: bool = True
 
     def assign_workers(self, assignment: dict[str, int]) -> None:
         """Pin each process to a physical worker for virtual-time costing.
@@ -132,7 +140,8 @@ class Scheduler:
         """Complete a send: direct handoff to a parked receiver (rendezvous)
         or a push into free channel space."""
         chan: Channel = slot.op.channel
-        stamp = proc.yield_clock + 1
+        timing = self._timing
+        stamp = proc.yield_clock + 1 if timing else 0
         while chan.waiting_receivers:
             other, rslot = chan.waiting_receivers[0]
             chan.waiting_receivers.popleft()
@@ -141,7 +150,8 @@ class Scheduler:
             rslot.done = True
             rslot.result = slot.op.value
             chan.messages_carried += 1
-            other.clock = max(other.clock, stamp)
+            if timing:
+                other.clock = max(other.clock, stamp)
             slot.done = True
             self._maybe_wake(other)
             return True
@@ -158,7 +168,8 @@ class Scheduler:
             msg = chan.pop()
             slot.done = True
             slot.result = msg.value
-            proc.clock = max(proc.clock, msg.timestamp)
+            if self._timing:
+                proc.clock = max(proc.clock, msg.timestamp)
             self._drain_senders(chan)
             return True
         while chan.waiting_senders:
@@ -170,23 +181,26 @@ class Scheduler:
             slot.done = True
             slot.result = sslot.op.value
             chan.messages_carried += 1
-            proc.clock = max(proc.clock, other.yield_clock + 1)
+            if self._timing:
+                proc.clock = max(proc.clock, other.yield_clock + 1)
             self._maybe_wake(other)
             return True
         return False
 
     def _drain_senders(self, chan: Channel) -> None:
         """Space appeared: complete parked sends in FIFO order."""
+        timing = self._timing
         while chan.waiting_senders and chan.has_room():
             other, sslot = chan.waiting_senders.popleft()
             if sslot.done:
                 continue
-            chan.push(sslot.op.value, other.yield_clock + 1)
+            chan.push(sslot.op.value, other.yield_clock + 1 if timing else 0)
             sslot.done = True
             self._maybe_wake(other)
 
     def _drain_receivers(self, chan: Channel) -> None:
         """Data appeared: complete parked receives in FIFO order."""
+        timing = self._timing
         while chan.waiting_receivers and chan.queue:
             other, rslot = chan.waiting_receivers.popleft()
             if rslot.done:
@@ -194,7 +208,8 @@ class Scheduler:
             msg = chan.pop()
             rslot.done = True
             rslot.result = msg.value
-            other.clock = max(other.clock, msg.timestamp)
+            if timing:
+                other.clock = max(other.clock, msg.timestamp)
             self._maybe_wake(other)
 
     def _maybe_wake(self, proc: _ProcState) -> None:
@@ -246,8 +261,18 @@ class Scheduler:
                 else:
                     chan.waiting_receivers.append((proc, slot))
 
-    def run(self, max_rounds: int | None = None) -> SchedulerStats:
-        """Run all processes to completion; returns aggregate stats."""
+    def run(
+        self, max_rounds: int | None = None, *, timing: bool = True
+    ) -> SchedulerStats:
+        """Run all processes to completion; returns aggregate stats.
+
+        ``timing=False`` skips all Lamport-clock bookkeeping: values,
+        deadlock detection and the FIFO interleaving are unchanged, but the
+        returned stats carry zero makespan / per-process clocks.  Use it
+        when only the computed values matter (differential checks).
+        """
+        self._timing = timing
+        trace = self._trace
         rounds = 0
         for proc in self._procs:
             self._advance(proc, None)
@@ -264,14 +289,22 @@ class Scheduler:
                 )
             slots = proc.slots
             proc.slots = None
-            if self._worker_of is not None and proc.name in self._worker_of:
-                worker = self._worker_of[proc.name]
-                busy_until = self._worker_clock.get(worker, 0)
-                proc.clock = max(proc.clock, busy_until) + 1
-                self._worker_clock[worker] = proc.clock
-            else:
-                proc.clock += 1
+            if timing:
+                if self._worker_of is not None and proc.name in self._worker_of:
+                    worker = self._worker_of[proc.name]
+                    busy_until = self._worker_clock.get(worker, 0)
+                    proc.clock = max(proc.clock, busy_until) + 1
+                    self._worker_clock[worker] = proc.clock
+                else:
+                    proc.clock += 1
             value = [s.result for s in slots] if proc.was_par else slots[0].result
+            if trace is not None:
+                kind = (
+                    "par"
+                    if proc.was_par
+                    else ("send" if isinstance(slots[0].op, Send) else "recv")
+                )
+                trace(proc.name, proc.clock, kind)
             self._advance(proc, value)
         unfinished = [p for p in self._procs if not p.finished]
         if unfinished:

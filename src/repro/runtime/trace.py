@@ -13,10 +13,8 @@ per-process activity in virtual time.  From the trace one can compute
 
 from __future__ import annotations
 
-import weakref
 from collections import defaultdict
 from dataclasses import dataclass, field
-from typing import Iterable, Mapping
 
 from repro.runtime.scheduler import SchedulerStats
 
@@ -92,57 +90,30 @@ class Trace:
         return "\n".join(lines)
 
 
-#: wrapper generator -> the original (uninstrumented) generator it drives.
-#: Weak keys: entries die with their wrappers, so re-instrumentation never
-#: leaks and an attach is detectable without touching the slotted _ProcState.
-_WRAPPED: "weakref.WeakKeyDictionary" = weakref.WeakKeyDictionary()
-
-
 def attach_tracer(network) -> Trace:
-    """Instrument every process of ``network``; returns the live trace.
+    """Hook a fresh :class:`Trace` into ``network``'s scheduler.
 
-    Attaching is *idempotent*: each process records every completed request
-    exactly once, no matter how many times a tracer is attached.  A repeat
-    attach unwraps the previous instrumentation and re-wraps the original
-    generator, so only the newest :class:`Trace` receives events (the bug
-    this replaces stacked wrapper on wrapper and double-counted every
-    event).
+    Tracing rides the scheduler's resume-path hook: one ``(process, clock,
+    kind)`` callback per completed request, and a single pointer test per
+    resume when no tracer is attached -- zero-cost when off.  (The previous
+    implementation wrapped every process generator, adding a frame per
+    process whether or not anyone read the trace.)
+
+    Attaching is *idempotent*: a repeat attach replaces the hook, so each
+    request is recorded exactly once and only the newest :class:`Trace`
+    receives events.
     """
     trace = Trace()
-    sched = network.scheduler
-    for proc in sched._procs:  # instrumentation needs scheduler internals
-        inner = _WRAPPED.get(proc.gen, proc.gen)
-        wrapper = _instrument(proc, inner, trace)
-        _WRAPPED[wrapper] = inner
-        proc.gen = wrapper
+    network.scheduler._trace = trace.record
     return trace
 
 
 def trace_run(network, max_rounds: int | None = None) -> tuple[SchedulerStats, Trace]:
     """Run a :class:`ProcessNetwork` with tracing attached.
 
-    Tracing hooks into the scheduler's resume path by wrapping each process
-    generator; it costs one extra generator frame per process.  Calling
-    this twice on one network re-instruments cleanly (see
+    Calling this twice on one network re-attaches cleanly (see
     :func:`attach_tracer`) instead of double-counting events.
     """
     trace = attach_tracer(network)
     stats = network.run(max_rounds=max_rounds)
     return stats, trace
-
-
-def _instrument(proc, inner, trace: Trace):
-    name = proc.name
-
-    def wrapper():
-        value = None
-        while True:
-            try:
-                op = inner.send(value)
-            except StopIteration:
-                return
-            value = yield op
-            kind = type(op).__name__.lower()
-            trace.record(name, proc.clock, kind)
-
-    return wrapper()

@@ -23,7 +23,11 @@ from fractions import Fraction
 from typing import Iterable, Mapping, Sequence
 from weakref import WeakValueDictionary
 
-from repro.geometry.polyhedron import LinearConstraint, fourier_motzkin_feasible
+from repro.geometry.polyhedron import (
+    LinearConstraint,
+    canonical_int_row,
+    feasible_int_rows,
+)
 from repro.symbolic.affine import Affine, AffineLike, Numeric
 from repro.symbolic.intern import counter
 from repro.util.errors import GuardError
@@ -39,7 +43,7 @@ _CFN_STATS = counter("guard_compiled_cache")
 class Constraint:
     """The inequality ``expr >= 0`` for an affine ``expr``."""
 
-    __slots__ = ("expr", "_hash", "__weakref__")
+    __slots__ = ("expr", "_hash", "_introw", "__weakref__")
 
     _intern: "WeakValueDictionary[Affine, Constraint]" = WeakValueDictionary()
     _stats = counter("constraint_intern")
@@ -55,6 +59,7 @@ class Constraint:
         self = object.__new__(cls)
         object.__setattr__(self, "expr", e)
         object.__setattr__(self, "_hash", hash(("Constraint", e)))
+        object.__setattr__(self, "_introw", {})
         cls._intern[e] = self
         return self
 
@@ -102,6 +107,23 @@ class Constraint:
         return LinearConstraint(
             tuple(self.expr.coeff(s) for s in symbol_order), self.expr.const
         )
+
+    def int_row(self, symbol_order: tuple[str, ...]) -> tuple[int, ...] | bool:
+        """The canonical integer row over ``symbol_order`` (or a trivial
+        truth value) -- see :func:`canonical_int_row`.
+
+        Memoized on the hash-consed constraint: distinct guards share
+        constraints constantly, and rebuilding the row from ``Fraction``
+        coefficients is the single hottest step of feasibility checking.
+        """
+        row = self._introw.get(symbol_order)
+        if row is None:
+            expr = self.expr
+            row = canonical_int_row(
+                tuple(expr.coeff(s) for s in symbol_order) + (expr.const,)
+            )
+            self._introw[symbol_order] = row
+        return row
 
     def __eq__(self, other: object) -> bool:
         if self is other:
@@ -216,9 +238,19 @@ class Guard:
         if combined.is_trivially_false:
             result = False
         else:
-            symbols = sorted(combined.free_symbols)
-            linear = [c.to_linear(symbols) for c in combined.constraints]
-            result = fourier_motzkin_feasible(linear, len(symbols))
+            symbols = tuple(sorted(combined.free_symbols))
+            rows = []
+            result = None
+            for c in combined.constraints:
+                row = c.int_row(symbols)
+                if row is True:
+                    continue
+                if row is False:
+                    result = False
+                    break
+                rows.append(row)
+            if result is None:
+                result = feasible_int_rows(rows, len(symbols))
         self._memo[key] = result
         return result
 

@@ -23,7 +23,7 @@ from __future__ import annotations
 import itertools
 from typing import Iterator, Mapping
 
-from repro.geometry.linalg import Matrix
+from repro.geometry.linalg import Matrix, null_space_vector
 from repro.geometry.point import Point, dot
 from repro.lang.dependence import check_step_function, dependence_vectors
 from repro.lang.program import SourceProgram
@@ -32,6 +32,13 @@ from repro.systolic.check import check_systolic_array
 from repro.systolic.flow import flow_denominator, is_stationary, stream_flow
 from repro.systolic.spec import SystolicArray
 from repro.util.errors import RequirementViolation, SystolicSpecError
+
+
+#: memoized place searches -- the fuzz generator re-runs the same bounded
+#: search for every attempt, and distinct programs share (step, index-map)
+#: signatures constantly
+_places_cache: dict = {}
+_PLACES_CACHE_LIMIT = 2048
 
 
 def makespan(
@@ -72,6 +79,9 @@ def synthesize_step(
         env = {s: 4 for s in syms}
     deps = dependence_vectors(program)
     written = program.body.streams_written()
+    # The index-space corners depend only on (program, env): hoist them out
+    # of the candidate loop (makespan is linear, so corners suffice).
+    corners = list(program.index_space(env).corners())
     best: list[Matrix] = []
     best_span: int | None = None
     for tau in _candidate_rows(program.r, bound):
@@ -83,12 +93,12 @@ def synthesize_step(
                 break
         if not ok:
             continue
-        step = Matrix([tau])
-        span = makespan(program, step, env)
+        values = [dot(tau, c) for c in corners]
+        span = int(max(values) - min(values)) + 1
         if best_span is None or span < best_span:
-            best, best_span = [step], span
+            best, best_span = [Matrix([tau])], span
         elif span == best_span:
-            best.append(step)
+            best.append(Matrix([tau]))
     if not best:
         raise SystolicSpecError(
             f"no valid step vector with coefficients in [-{bound}, {bound}]"
@@ -113,6 +123,27 @@ def synthesize_places(
     """
     check_step_function(program, step)
     r = program.r
+    # Everything below depends only on (r, bound, step rows, the streams'
+    # index maps, the flow requirement) -- not on the loop bounds or body --
+    # so the search is memoized across programs and fuzz instances.
+    cache_key = (
+        r,
+        bound,
+        step.rows,
+        tuple(s.index_map.rows for s in program.streams),
+        require_neighbour_flows,
+    )
+    cached = _places_cache.get(cache_key)
+    if cached is not None:
+        return list(cached)
+    # Per-stream flow data for a fixed step: with ``d`` spanning
+    # ``null(M)``, ``flow = place.d / (step.d)`` (Theorem 10), so only
+    # ``place.d`` varies across candidates.
+    stream_data = []
+    for s in program.streams:
+        d = s.null_direction()
+        denominator = step.apply_point(d)[0]
+        stream_data.append((d, denominator))
     seen: set[frozenset] = set()
     results: list[Matrix] = []
     rows = list(_candidate_rows(r, bound))
@@ -124,21 +155,19 @@ def synthesize_places(
         place = Matrix(combo)
         if place.rank != r - 1:
             continue
-        array = SystolicArray(step=step, place=place)
         try:
-            null_p = array.null_place()
+            null_p = null_space_vector(place)
         except Exception:
             continue
         if step.apply_point(null_p)[0] == 0:
             continue
         if require_neighbour_flows:
             ok = True
-            for s in program.streams:
-                try:
-                    flow = stream_flow(array, s)
-                except SystolicSpecError:
+            for d, denominator in stream_data:
+                if denominator == 0:  # Eq. 1 violated (see stream_flow)
                     ok = False
                     break
+                flow = place.apply_point(d) / denominator
                 if not is_stationary(flow):
                     try:
                         flow_denominator(flow)
@@ -148,6 +177,9 @@ def synthesize_places(
             if not ok:
                 continue
         results.append(place)
+    if len(_places_cache) >= _PLACES_CACHE_LIMIT:
+        _places_cache.clear()
+    _places_cache[cache_key] = tuple(results)
     return results
 
 

@@ -537,7 +537,15 @@ class ModuleCache:
         return self.key_of(source) in self._entries
 
     def namespace_for(self, source: str) -> dict:
-        """The compiled+exec'd namespace of ``source`` (compiling on miss)."""
+        """The compiled+exec'd namespace of ``source`` (compiling on miss).
+
+        Every rendered module ends with the constant :data:`_RUNNER` engine
+        text, which dominates compile time; on a miss only the per-design
+        head is compiled fresh and the engine's code object (compiled once
+        per process) is exec'd after it into the same namespace.  The
+        generated process functions reach the engine helpers through module
+        globals at call time, so the split is invisible to the module.
+        """
         key = self.key_of(source)
         namespace = self._entries.get(key)
         if namespace is not None:
@@ -545,9 +553,13 @@ class ModuleCache:
             self._entries.move_to_end(key)
             return namespace
         self.misses += 1
-        code = compile(source, "<repro.target.pygen>", "exec")
         namespace = {}
-        exec(code, namespace)
+        if source.endswith(_RUNNER):
+            head = source[: -len(_RUNNER)]
+            exec(compile(head, "<repro.target.pygen>", "exec"), namespace)
+            exec(_runner_code(), namespace)
+        else:
+            exec(compile(source, "<repro.target.pygen>", "exec"), namespace)
         self._entries[key] = namespace
         while len(self._entries) > self._capacity:
             self._entries.popitem(last=False)
@@ -578,6 +590,18 @@ class ModuleCache:
             "misses": self.misses,
             "evictions": self.evictions,
         }
+
+
+#: the runner engine's code object, compiled once per process and shared by
+#: every cached module (the engine text never varies across designs)
+_RUNNER_CODE = None
+
+
+def _runner_code():
+    global _RUNNER_CODE
+    if _RUNNER_CODE is None:
+        _RUNNER_CODE = compile(_RUNNER, "<repro.target.pygen:runner>", "exec")
+    return _RUNNER_CODE
 
 
 MODULE_CACHE = ModuleCache(

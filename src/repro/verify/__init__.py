@@ -12,6 +12,7 @@ from repro.verify.equivalence import (
     VerificationReport,
     random_inputs,
     verify_design,
+    verify_design_batch,
 )
 from repro.verify.theorems import check_all_theorems, THEOREM_CHECKS
 from repro.verify.enumerative import CrossCheckReport, cross_check
@@ -20,6 +21,7 @@ __all__ = [
     "BACKENDS",
     "VerificationReport",
     "verify_design",
+    "verify_design_batch",
     "random_inputs",
     "check_all_theorems",
     "THEOREM_CHECKS",

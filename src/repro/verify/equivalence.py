@@ -176,3 +176,75 @@ def verify_design(
             f"systolic program disagrees with the oracle at {dict(env)}: {preview}"
         )
     return report
+
+
+def verify_design_batch(
+    program: SourceProgram,
+    array: SystolicArray,
+    env: Mapping[str, Numeric],
+    *,
+    compiled: SystolicProgram | None = None,
+    input_sets: int = 1,
+    seed: int = 0,
+    channel_capacity: int = 1,
+    backend: str = "sim",
+    raise_on_mismatch: bool = True,
+) -> list[VerificationReport]:
+    """Verify one design against the oracle over many input sets.
+
+    The design is compiled once and every input set (seeds ``seed`` ..
+    ``seed + input_sets - 1``) is checked against its own sequential-oracle
+    run.  ``"npgen"`` executes all sets in a single batched wavefront pass
+    (one schedule, stacked arrays); ``"sim"`` reuses the pre-bound network
+    plan across sets and ``"pygen"`` the cached compiled module, so each
+    additional set only pays execution, never recompilation.
+    """
+    if input_sets < 1:
+        raise VerificationError(
+            f"input_sets must be >= 1, got {input_sets}"
+        )
+    sp = compiled if compiled is not None else compile_systolic(program, array)
+    seeds = [seed + k for k in range(input_sets)]
+    all_inputs = [random_inputs(program, env, seed=s) for s in seeds]
+
+    if backend == "npgen":
+        from repro.target.npgen import execute_numpy_batch
+
+        finals = execute_numpy_batch(sp, env, all_inputs)
+        stats_per_set: list[SchedulerStats | None] = [None] * input_sets
+    else:
+        finals, stats_per_set = [], []
+        for inputs in all_inputs:
+            final, stats = _execute_backend(
+                backend, sp, env, inputs, channel_capacity
+            )
+            finals.append(final)
+            stats_per_set.append(stats)
+
+    reports = []
+    for inputs, final, stats in zip(all_inputs, finals, stats_per_set):
+        oracle = run_sequential(program, env, inputs)
+        mismatches = [
+            f"{var}{element}: systolic {final[var].get(tuple(element))}, "
+            f"oracle {value}"
+            for var, expected in oracle.items()
+            for element, value in expected.items()
+            if final[var].get(tuple(element)) != value
+        ]
+        reports.append(
+            VerificationReport(
+                env=dict(env),
+                matched=not mismatches,
+                stats=stats,
+                mismatches=mismatches,
+                backend=backend,
+            )
+        )
+    bad = [r for r in reports if not r.matched]
+    if bad and raise_on_mismatch:
+        preview = "; ".join(bad[0].mismatches[:5])
+        raise VerificationError(
+            f"systolic program disagrees with the oracle on "
+            f"{len(bad)}/{input_sets} input sets at {dict(env)}: {preview}"
+        )
+    return reports
