@@ -23,6 +23,7 @@ Two layers share the same mathematics (group the index space by
 from __future__ import annotations
 
 import os
+import threading
 from collections import OrderedDict, defaultdict
 from dataclasses import dataclass, field
 from typing import Mapping
@@ -304,13 +305,20 @@ DEFAULT_SCHEDULE_CACHE_SIZE = 32
 
 
 class ScheduleCache:
-    """Bounded LRU of wavefront schedules keyed by (fingerprint, sizes)."""
+    """Bounded LRU of wavefront schedules keyed by (fingerprint, sizes).
+
+    Shared by the compile service's executor threads: the LRU structure is
+    mutated only under one lock; a missed schedule is built outside it (a
+    racing duplicate build is benign -- the schedules are equal and one
+    wins).
+    """
 
     def __init__(self, capacity: int = DEFAULT_SCHEDULE_CACHE_SIZE) -> None:
         if capacity < 1:
             raise ReproError(f"cache capacity must be >= 1, got {capacity}")
         self._entries: "OrderedDict[tuple, WavefrontSchedule]" = OrderedDict()
         self._capacity = capacity
+        self._lock = threading.RLock()
         self.hits = 0
         self.misses = 0
         self.evictions = 0
@@ -327,31 +335,35 @@ class ScheduleCache:
             design_fingerprint(sp),
             tuple(sorted((k, int(v)) for k, v in env.items())),
         )
-        schedule = self._entries.get(key)
-        if schedule is not None:
-            self.hits += 1
-            self._entries.move_to_end(key)
-            return schedule
-        self.misses += 1
+        with self._lock:
+            schedule = self._entries.get(key)
+            if schedule is not None:
+                self.hits += 1
+                self._entries.move_to_end(key)
+                return schedule
+            self.misses += 1
         schedule = build_wavefront_schedule(sp, env)
-        self._entries[key] = schedule
-        while len(self._entries) > self._capacity:
-            self._entries.popitem(last=False)
-            self.evictions += 1
+        with self._lock:
+            self._entries[key] = schedule
+            while len(self._entries) > self._capacity:
+                self._entries.popitem(last=False)
+                self.evictions += 1
         return schedule
 
     def clear(self) -> None:
-        self._entries.clear()
-        self.hits = self.misses = self.evictions = 0
+        with self._lock:
+            self._entries.clear()
+            self.hits = self.misses = self.evictions = 0
 
     def stats(self) -> dict:
-        return {
-            "capacity": self._capacity,
-            "size": len(self._entries),
-            "hits": self.hits,
-            "misses": self.misses,
-            "evictions": self.evictions,
-        }
+        with self._lock:
+            return {
+                "capacity": self._capacity,
+                "size": len(self._entries),
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+            }
 
 
 SCHEDULE_CACHE = ScheduleCache(

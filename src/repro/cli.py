@@ -16,7 +16,11 @@ Subcommands
 ``designs``     list the built-in catalogue;
 ``fuzz``        differential conformance fuzzing: random programs + designs
                 through oracle / simulator / compiled backend / enumerative
-                cross-check, with shrinking of any failure.
+                cross-check, with shrinking of any failure;
+``serve``       run the asyncio compile-service daemon: HTTP/JSON endpoints
+                (compile / explore / execute / verify / fuzz-replay) over a
+                content-addressed design store with request coalescing,
+                per-tenant rate limits and per-request timeouts.
 
 A *design spec* is a JSON file::
 
@@ -367,6 +371,93 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
     return 0 if summary.ok else 1
 
 
+def validate_serve_args(args: argparse.Namespace) -> None:
+    """Fail fast with a :class:`ReproError` naming the offending flag."""
+    if not (0 <= args.port <= 65535):
+        raise ReproError(
+            f"--port must be in 0..65535 (0 = ephemeral), got {args.port}"
+        )
+    if args.rate < 0:
+        raise ReproError(
+            f"--rate must be >= 0 (0 disables limiting), got {args.rate:g}"
+        )
+    if args.burst < 1:
+        raise ReproError(f"--burst must be >= 1, got {args.burst}")
+    if args.timeout <= 0:
+        raise ReproError(f"--timeout must be positive, got {args.timeout:g}")
+    if args.workers < 1:
+        raise ReproError(f"--workers must be >= 1, got {args.workers}")
+    if args.max_tenants < 1:
+        raise ReproError(f"--max-tenants must be >= 1, got {args.max_tenants}")
+    if args.max_designs < 1:
+        raise ReproError(f"--max-designs must be >= 1, got {args.max_designs}")
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.service import CompileService, ServiceConfig
+
+    validate_serve_args(args)
+    config = ServiceConfig(
+        host=args.host,
+        port=args.port,
+        rate=args.rate,
+        burst=args.burst,
+        timeout_s=args.timeout,
+        workers=args.workers,
+        max_tenants=args.max_tenants,
+        max_designs=args.max_designs,
+        corpus_dir=args.corpus_dir,
+    )
+    service = CompileService(config)
+
+    async def run() -> None:
+        await service.start()
+        limits = (
+            f"{config.rate:g}/s burst {config.burst}"
+            if config.rate > 0
+            else "off"
+        )
+        print(
+            f"repro compile service on http://{config.host}:{service.port} "
+            f"(workers {config.workers}, timeout {config.timeout_s:g}s, "
+            f"rate limit {limits})",
+            file=sys.stderr,
+        )
+        try:
+            await service.serve_forever()
+        except asyncio.CancelledError:
+            pass
+
+    try:
+        asyncio.run(run())
+    except KeyboardInterrupt:
+        pass
+    finally:
+        snapshot = service.metrics.snapshot()
+        store = service.store.snapshot()
+        print(
+            f"served {service.requests_served} request(s), "
+            f"{store['designs']} design(s) cached "
+            f"(hits {store['hits']}, misses {store['misses']}, "
+            f"coalesced {store['coalesced']}); "
+            f"rate-limited {snapshot['rate_limited']}, "
+            f"timeouts {snapshot['timeouts']}",
+            file=sys.stderr,
+        )
+        for name, metrics in sorted(snapshot["endpoints"].items()):
+            latency = metrics["latency"]
+            print(
+                f"  /{name}: {metrics['requests']} requests "
+                f"(4xx {metrics['errors_4xx']}, 5xx {metrics['errors_5xx']}), "
+                f"p50 {latency['p50_s'] * 1000:.1f}ms, "
+                f"p95 {latency['p95_s'] * 1000:.1f}ms",
+                file=sys.stderr,
+            )
+    return 0
+
+
 def cmd_designs(args: argparse.Namespace) -> int:
     from repro.systolic.designs import all_paper_designs
 
@@ -539,6 +630,44 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the campaign summary as a JSON artifact",
     )
     p.set_defaults(func=cmd_fuzz)
+
+    p = sub.add_parser(
+        "serve", help="run the compile-service daemon (HTTP/JSON)"
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument(
+        "--port", type=int, default=8642, help="TCP port (0 = ephemeral)"
+    )
+    p.add_argument(
+        "--rate",
+        type=float,
+        default=0.0,
+        help="per-tenant requests/s (token bucket; 0 disables limiting)",
+    )
+    p.add_argument(
+        "--burst", type=int, default=8, help="token-bucket burst capacity"
+    )
+    p.add_argument(
+        "--timeout",
+        type=float,
+        default=30.0,
+        help="per-request timeout in seconds (the derivation itself is "
+        "never cancelled, so a retry picks up the cached result)",
+    )
+    p.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="executor threads for pipeline stages",
+    )
+    p.add_argument("--max-tenants", type=int, default=1024)
+    p.add_argument("--max-designs", type=int, default=512)
+    p.add_argument(
+        "--corpus-dir",
+        default="tests/fuzz_corpus",
+        help="corpus served by /fuzz-replay",
+    )
+    p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser("designs", help="list the built-in catalogue")
     p.set_defaults(func=cmd_designs)

@@ -30,6 +30,7 @@ from __future__ import annotations
 
 import hashlib
 import os
+import threading
 import weakref
 from typing import Any, Callable, Hashable
 
@@ -71,7 +72,19 @@ def stable_key(form) -> str:
 
 
 class DerivationMemo:
-    """Named memo tables for derivation steps, keyed structurally."""
+    """Named memo tables for derivation steps, keyed structurally.
+
+    Task/thread safety: the compile service runs derivations on executor
+    threads, so every table mutation happens under one re-entrant lock.
+    ``compute()`` itself runs *outside* the lock -- two threads missing the
+    same key may both derive the value, but derivations are pure and their
+    results interned, so the second insert is the same (or an equal) object
+    and last-write-wins is benign.  Holding the lock through ``compute()``
+    would instead serialize every distinct compile behind the slowest one.
+    A cancelled service request simply abandons the executor thread; the
+    derivation still runs to completion there and only a *successful*
+    result is inserted, so cancellation can never leave a partial entry.
+    """
 
     def __init__(self, limit: int = _TABLE_LIMIT) -> None:
         self.tables: dict[str, dict[Hashable, Any]] = {}
@@ -81,53 +94,66 @@ class DerivationMemo:
         #: derivation (e.g. the symbolic partition compilation) was reused
         #: rather than re-run, independent of unrelated memo traffic
         self._table_stats: dict[str, list[int]] = {}
+        self._lock = threading.RLock()
 
     def table_counters(self, table: str) -> tuple[int, int]:
         """``(hits, misses)`` recorded for one memo table."""
-        hits, misses = self._table_stats.get(table, (0, 0))
+        with self._lock:
+            hits, misses = self._table_stats.get(table, (0, 0))
         return (hits, misses)
 
     def get(self, table: str, key: Hashable, compute: Callable[[], Any]) -> Any:
         """The memoized value of ``compute()`` under ``(table, key)``."""
         if _disabled():
             return compute()
-        entries = self.tables.get(table)
-        if entries is None:
-            entries = self.tables[table] = {}
-        stats = self._table_stats.setdefault(table, [0, 0])
-        found = entries.get(key, _MISSING)
-        if found is not _MISSING:
-            self._stats.hits += 1
-            stats[0] += 1
-            return found
-        self._stats.misses += 1
-        stats[1] += 1
-        value = compute()
-        if len(entries) >= self.limit:
-            entries.clear()
-        entries[key] = value
+        with self._lock:
+            entries = self.tables.get(table)
+            if entries is None:
+                entries = self.tables[table] = {}
+            stats = self._table_stats.setdefault(table, [0, 0])
+            found = entries.get(key, _MISSING)
+            if found is not _MISSING:
+                self._stats.hits += 1
+                stats[0] += 1
+                return found
+            self._stats.misses += 1
+            stats[1] += 1
+        value = compute()  # outside the lock: pure, may run concurrently
+        with self._lock:
+            if len(entries) >= self.limit:
+                entries.clear()
+            entries[key] = value
         return value
 
     def clear(self) -> None:
-        self.tables.clear()
-        self._table_stats.clear()
+        with self._lock:
+            self.tables.clear()
+            self._table_stats.clear()
 
     def export_state(self) -> dict[str, dict[Hashable, Any]]:
         """A picklable snapshot (values are interned symbolic objects)."""
-        return {name: dict(entries) for name, entries in self.tables.items()}
+        with self._lock:
+            return {name: dict(entries) for name, entries in self.tables.items()}
 
     def import_state(self, state: dict[str, dict[Hashable, Any]]) -> None:
         """Merge a snapshot (e.g. shipped from the sweep driver)."""
-        for name, entries in state.items():
-            self.tables.setdefault(name, {}).update(entries)
+        with self._lock:
+            for name, entries in state.items():
+                self.tables.setdefault(name, {}).update(entries)
+
+    def counters_snapshot(self) -> dict[str, tuple[int, int]]:
+        """All per-table ``(hits, misses)`` pairs (service ``/stats``)."""
+        with self._lock:
+            return {name: (s[0], s[1]) for name, s in self._table_stats.items()}
 
     def stats_snapshot(self) -> dict[str, int]:
-        out = {
-            "hits": self._stats.hits,
-            "misses": self._stats.misses,
-        }
-        for name, entries in sorted(self.tables.items()):
-            out[f"table_{name}"] = len(entries)
+        with self._lock:
+            out = {
+                "hits": self._stats.hits,
+                "misses": self._stats.misses,
+            }
+            for name, entries in sorted(self.tables.items()):
+                out[f"table_{name}"] = len(entries)
         return out
 
 

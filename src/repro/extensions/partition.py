@@ -42,6 +42,7 @@ exactly the slabs the fold assigns.
 
 from __future__ import annotations
 
+import threading
 from bisect import bisect_right
 from collections import OrderedDict
 from dataclasses import dataclass
@@ -526,6 +527,7 @@ class PartitionCache:
             )
         self._entries: "OrderedDict[tuple, PartitionedSchedule]" = OrderedDict()
         self._capacity = capacity
+        self._lock = threading.RLock()
         self.hits = 0
         self.misses = 0
         self.evictions = 0
@@ -547,31 +549,38 @@ class PartitionCache:
             shape,
             tuple(sorted((k, int(v)) for k, v in env.items())),
         )
-        found = self._entries.get(key)
-        if found is not None:
-            self.hits += 1
-            self._entries.move_to_end(key)
-            return found
-        self.misses += 1
+        with self._lock:
+            found = self._entries.get(key)
+            if found is not None:
+                self.hits += 1
+                self._entries.move_to_end(key)
+                return found
+            self.misses += 1
+        # outside the lock: the symbolic stage underneath is memoized in
+        # MEMO (itself thread-safe) and a racing duplicate specialize is
+        # pure, so last-write-wins is benign
         schedule = compile_partition(sp, shape).specialize(sp, env)
-        self._entries[key] = schedule
-        while len(self._entries) > self._capacity:
-            self._entries.popitem(last=False)
-            self.evictions += 1
+        with self._lock:
+            self._entries[key] = schedule
+            while len(self._entries) > self._capacity:
+                self._entries.popitem(last=False)
+                self.evictions += 1
         return schedule
 
     def clear(self) -> None:
-        self._entries.clear()
-        self.hits = self.misses = self.evictions = 0
+        with self._lock:
+            self._entries.clear()
+            self.hits = self.misses = self.evictions = 0
 
     def stats(self) -> dict:
-        return {
-            "capacity": self._capacity,
-            "size": len(self._entries),
-            "hits": self.hits,
-            "misses": self.misses,
-            "evictions": self.evictions,
-        }
+        with self._lock:
+            return {
+                "capacity": self._capacity,
+                "size": len(self._entries),
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+            }
 
 
 PARTITION_CACHE = PartitionCache(

@@ -131,3 +131,44 @@ def corpus_files(corpus_dir) -> list[Path]:
     if not root.is_dir():
         return []
     return sorted(root.glob("*.json"))
+
+
+def find_reproducer(ref: str, corpus_dir=CORPUS_DIR) -> Path:
+    """Resolve a reproducer reference to its corpus file.
+
+    ``ref`` is content-addressed: the 12-hex-digit digest embedded in the
+    file name (``seed_2c6a5806697e`` and ``2c6a5806697e`` both resolve
+    ``seed_2c6a5806697e.json``), a full file name, or a unique digest
+    prefix of at least four characters.  Raises :class:`ReproError` naming
+    the reference when nothing (or more than one file) matches, so the
+    service's ``/fuzz-replay`` endpoint reports a clean 400 instead of a
+    stack trace.
+    """
+    from repro.util.errors import ReproError
+
+    ref = ref.strip()
+    if not ref:
+        raise ReproError("empty fuzz-replay reference")
+    files = corpus_files(corpus_dir)
+    by_name = {p.name: p for p in files}
+    for candidate in (ref, f"{ref}.json"):
+        if candidate in by_name:
+            return by_name[candidate]
+    digest = ref.rpartition("_")[2].removesuffix(".json")
+    if len(digest) < 4:
+        raise ReproError(
+            f"fuzz-replay reference {ref!r} is too short; give at least "
+            "4 hex digits of the corpus digest or a full file name"
+        )
+    matches = [p for p in files if p.stem.rpartition("_")[2].startswith(digest)]
+    if not matches:
+        raise ReproError(
+            f"no reproducer matching {ref!r} under {corpus_dir} "
+            f"({len(files)} corpus file(s) present)"
+        )
+    if len(matches) > 1:
+        names = ", ".join(p.name for p in matches[:4])
+        raise ReproError(
+            f"ambiguous fuzz-replay reference {ref!r}: matches {names}"
+        )
+    return matches[0]

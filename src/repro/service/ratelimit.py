@@ -1,0 +1,128 @@
+"""Bounded per-tenant token-bucket rate limiting.
+
+A classic token bucket: each tenant accrues ``rate`` tokens per second up
+to a ``burst`` ceiling, and each request spends one token.  The limiter
+keeps at most ``max_tenants`` buckets, evicting the least-recently-seen
+tenant on overflow, so an adversary cycling tenant ids cannot grow server
+memory without bound.  The clock is injectable (tests drive a fake one);
+the default is ``time.monotonic``.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import OrderedDict
+from typing import Callable
+
+from repro.util.errors import ReproError
+
+__all__ = ["TokenBucket", "RateLimiter"]
+
+DEFAULT_MAX_TENANTS = 1024
+
+
+class TokenBucket:
+    """One tenant's bucket: ``rate`` tokens/s, capacity ``burst``."""
+
+    __slots__ = ("rate", "burst", "tokens", "updated")
+
+    def __init__(self, rate: float, burst: int, now: float) -> None:
+        self.rate = rate
+        self.burst = float(burst)
+        self.tokens = float(burst)  # start full: first requests never stall
+        self.updated = now
+
+    def take(self, now: float) -> bool:
+        """Spend one token if available, accruing since the last call."""
+        elapsed = now - self.updated
+        if elapsed > 0:
+            self.tokens = min(self.burst, self.tokens + elapsed * self.rate)
+        self.updated = now
+        if self.tokens >= 1.0:
+            self.tokens -= 1.0
+            return True
+        return False
+
+    def retry_after(self, now: float) -> float:
+        """Seconds until one token will be available (0 when it already is)."""
+        elapsed = now - self.updated
+        tokens = min(self.burst, self.tokens + max(0.0, elapsed) * self.rate)
+        if tokens >= 1.0:
+            return 0.0
+        return (1.0 - tokens) / self.rate
+
+
+class RateLimiter:
+    """Per-tenant token buckets behind one LRU-bounded table.
+
+    ``rate <= 0`` disables limiting entirely (the default for ad-hoc local
+    serving); the CLI exposes it as ``repro serve --rate``.
+    """
+
+    def __init__(
+        self,
+        rate: float = 0.0,
+        burst: int = 1,
+        *,
+        max_tenants: int = DEFAULT_MAX_TENANTS,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if rate > 0 and burst < 1:
+            raise ReproError(f"rate-limit burst must be >= 1, got {burst}")
+        if max_tenants < 1:
+            raise ReproError(f"max_tenants must be >= 1, got {max_tenants}")
+        self.rate = float(rate)
+        self.burst = int(burst)
+        self.max_tenants = max_tenants
+        self.clock = clock
+        self._buckets: "OrderedDict[str, TokenBucket]" = OrderedDict()
+        self.allowed = 0
+        self.rejected = 0
+        self.evictions = 0
+
+    @property
+    def enabled(self) -> bool:
+        return self.rate > 0
+
+    def _bucket(self, tenant: str, now: float) -> TokenBucket:
+        bucket = self._buckets.get(tenant)
+        if bucket is None:
+            bucket = self._buckets[tenant] = TokenBucket(
+                self.rate, self.burst, now
+            )
+            while len(self._buckets) > self.max_tenants:
+                self._buckets.popitem(last=False)
+                self.evictions += 1
+        else:
+            self._buckets.move_to_end(tenant)
+        return bucket
+
+    def allow(self, tenant: str) -> bool:
+        """True if ``tenant`` may proceed (spends a token)."""
+        if not self.enabled:
+            self.allowed += 1
+            return True
+        now = self.clock()
+        if self._bucket(tenant, now).take(now):
+            self.allowed += 1
+            return True
+        self.rejected += 1
+        return False
+
+    def retry_after(self, tenant: str) -> float:
+        """Seconds the tenant should wait before retrying."""
+        if not self.enabled:
+            return 0.0
+        now = self.clock()
+        return self._bucket(tenant, now).retry_after(now)
+
+    def snapshot(self) -> dict:
+        return {
+            "enabled": self.enabled,
+            "rate_per_s": self.rate,
+            "burst": self.burst,
+            "tenants": len(self._buckets),
+            "allowed": self.allowed,
+            "rejected": self.rejected,
+            "evictions": self.evictions,
+        }

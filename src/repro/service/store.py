@@ -1,0 +1,252 @@
+"""Content-addressed design store with in-flight request coalescing.
+
+The store is the service's unit of memoization *above* the symbolic core:
+each entry is one fully compiled design -- source program, array spec and
+the derived ``SystolicProgram`` -- keyed by ``design_fingerprint`` (the
+same sha256 the render cache and partition memo key on, computable from
+the request before compilation).  Clients may submit ``{source, design}``
+pairs or refer back to an earlier compile by bare ``{fingerprint}``.
+
+Coalescing: when K concurrent requests name the same fingerprint and the
+design is not cached yet, exactly one compilation runs (on the executor);
+the other K-1 await the same future.  The per-table counters of
+``repro.core.memo.MEMO`` prove the derivations underneath ran once.
+
+Cancellation safety: callers await the in-flight future through
+``asyncio.shield``, so a request timeout abandons the *wait*, never the
+compilation -- the executor thread runs to completion and publishes (or
+discards, on failure) its result exactly as if no timeout had happened.
+Failures are never cached: the next request for the same fingerprint
+retries from scratch, mirroring the memo's only-cache-success rule.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from collections import OrderedDict
+from concurrent.futures import Executor
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from repro.core.program import SystolicProgram
+from repro.core.scheme import compile_systolic
+from repro.geometry.linalg import Matrix
+from repro.geometry.point import Point
+from repro.lang.parser import parse_program
+from repro.lang.program import SourceProgram
+from repro.systolic.spec import SystolicArray
+from repro.target.pygen import fingerprint_of
+from repro.util.errors import ReproError
+
+__all__ = ["DesignStore", "StoredDesign", "array_from_spec"]
+
+DEFAULT_MAX_DESIGNS = 512
+
+
+def array_from_spec(data: Mapping[str, Any], *, default_name: str = "design") -> SystolicArray:
+    """A :class:`SystolicArray` from the JSON design-spec shape.
+
+    The same document format ``repro compile`` reads from disk and the
+    fuzz corpus embeds: ``step`` / ``place`` row lists plus optional
+    ``loading`` vectors and ``name``.
+    """
+    if not isinstance(data, Mapping):
+        raise ReproError(f"design spec must be a JSON object, got {type(data).__name__}")
+    for field_name in ("step", "place"):
+        if field_name not in data:
+            raise ReproError(f"design spec is missing the {field_name!r} rows")
+    try:
+        step = Matrix([tuple(int(c) for c in row) for row in data["step"]])
+        place = Matrix([tuple(int(c) for c in row) for row in data["place"]])
+        loading = {
+            name: Point([int(c) for c in vec])
+            for name, vec in (data.get("loading") or {}).items()
+        }
+    except ReproError:
+        raise
+    except (TypeError, ValueError) as exc:
+        raise ReproError(f"malformed design spec: {exc}") from None
+    return SystolicArray(
+        step=step,
+        place=place,
+        loading_vectors=loading,
+        name=str(data.get("name", default_name)),
+    )
+
+
+@dataclass
+class StoredDesign:
+    """One compiled design, addressable by its content fingerprint."""
+
+    fingerprint: str
+    program: SourceProgram
+    array: SystolicArray
+    systolic: SystolicProgram
+    source_text: str
+    design_spec: dict = field(default_factory=dict)
+
+    def summary(self) -> str:
+        return self.systolic.summary()
+
+
+class DesignStore:
+    """Bounded LRU of compiled designs + coalesced in-flight compiles."""
+
+    def __init__(
+        self,
+        *,
+        executor: Executor | None = None,
+        max_designs: int = DEFAULT_MAX_DESIGNS,
+    ) -> None:
+        if max_designs < 1:
+            raise ReproError(f"max_designs must be >= 1, got {max_designs}")
+        self._entries: "OrderedDict[str, StoredDesign]" = OrderedDict()
+        self._inflight: dict[str, asyncio.Future] = {}
+        self._executor = executor
+        self._max_designs = max_designs
+        self.hits = 0
+        self.misses = 0
+        self.coalesced = 0
+        self.failures = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def inflight(self) -> int:
+        return len(self._inflight)
+
+    # -- synchronous lookups ------------------------------------------------
+
+    def parse_request(
+        self, source_text: str, design_spec: Mapping[str, Any]
+    ) -> tuple[SourceProgram, SystolicArray, str]:
+        """Parse a ``{source, design}`` request and fingerprint it.
+
+        Raises :class:`ReproError` subclasses (the parser's diagnostics
+        pass through untouched) -- the daemon maps those to 4xx.
+        """
+        if not isinstance(source_text, str) or not source_text.strip():
+            raise ReproError("request field 'source' must be a non-empty string")
+        program = parse_program(source_text)
+        array = array_from_spec(design_spec)
+        return program, array, fingerprint_of(program, array)
+
+    def get(self, fingerprint: str) -> StoredDesign | None:
+        """The cached design, bumping LRU recency; None when absent."""
+        entry = self._entries.get(fingerprint)
+        if entry is not None:
+            self._entries.move_to_end(fingerprint)
+        return entry
+
+    def peek(self, fingerprint: str) -> StoredDesign | None:
+        """Like :meth:`get` without touching recency or counters."""
+        return self._entries.get(fingerprint)
+
+    def lookup(self, fingerprint: str) -> StoredDesign:
+        """Like :meth:`get` but raising the daemon-facing 4xx error."""
+        if not isinstance(fingerprint, str) or not fingerprint:
+            raise ReproError("request field 'fingerprint' must be a non-empty string")
+        entry = self.get(fingerprint)
+        if entry is None:
+            raise ReproError(
+                f"unknown design fingerprint {fingerprint[:16]!r}...; "
+                "compile it first via /compile with source + design"
+            )
+        return entry
+
+    # -- the coalescing compile path ---------------------------------------
+
+    async def get_or_compile(
+        self, source_text: str, design_spec: Mapping[str, Any]
+    ) -> StoredDesign:
+        """The compiled design for a request, compiling at most once.
+
+        Concurrent callers with the same fingerprint share one in-flight
+        compilation; the awaited future is shielded by the caller's
+        ``asyncio.wait_for``-based timeout, so cancellation abandons only
+        the wait (see module docstring).
+        """
+        program, array, fingerprint = self.parse_request(source_text, design_spec)
+        entry = self.get(fingerprint)
+        if entry is not None:
+            self.hits += 1
+            return entry
+        future = self._inflight.get(fingerprint)
+        if future is None:
+            self.misses += 1
+            loop = asyncio.get_running_loop()
+            future = loop.create_future()
+            # swallow "exception was never retrieved" when every awaiting
+            # request timed out before the compile failed
+            future.add_done_callback(
+                lambda f: None if f.cancelled() else f.exception()
+            )
+            self._inflight[fingerprint] = future
+            asyncio.ensure_future(
+                self._compile_into(
+                    fingerprint, program, array, source_text, design_spec, future
+                )
+            )
+        else:
+            self.coalesced += 1
+        return await asyncio.shield(future)
+
+    async def _compile_into(
+        self,
+        fingerprint: str,
+        program: SourceProgram,
+        array: SystolicArray,
+        source_text: str,
+        design_spec: Mapping[str, Any],
+        future: asyncio.Future,
+    ) -> None:
+        loop = asyncio.get_running_loop()
+        try:
+            systolic = await loop.run_in_executor(
+                self._executor, compile_systolic, program, array
+            )
+        except BaseException as exc:
+            self.failures += 1
+            self._inflight.pop(fingerprint, None)
+            if not future.cancelled():
+                future.set_exception(exc)
+            return
+        entry = StoredDesign(
+            fingerprint=fingerprint,
+            program=program,
+            array=array,
+            systolic=systolic,
+            source_text=source_text,
+            design_spec=dict(design_spec),
+        )
+        self._insert(entry)
+        self._inflight.pop(fingerprint, None)
+        if not future.cancelled():
+            future.set_result(entry)
+
+    def _insert(self, entry: StoredDesign) -> None:
+        self._entries[entry.fingerprint] = entry
+        self._entries.move_to_end(entry.fingerprint)
+        while len(self._entries) > self._max_designs:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+
+    def clear(self) -> None:
+        """Drop cached designs (in-flight compiles finish undisturbed)."""
+        self._entries.clear()
+        self.hits = self.misses = self.coalesced = 0
+        self.failures = self.evictions = 0
+
+    def snapshot(self) -> dict:
+        return {
+            "designs": len(self._entries),
+            "capacity": self._max_designs,
+            "inflight": len(self._inflight),
+            "hits": self.hits,
+            "misses": self.misses,
+            "coalesced": self.coalesced,
+            "failures": self.failures,
+            "evictions": self.evictions,
+        }

@@ -31,6 +31,7 @@ from __future__ import annotations
 
 import hashlib
 import os
+import threading
 from collections import OrderedDict
 from fractions import Fraction
 from pathlib import Path
@@ -511,6 +512,11 @@ class ModuleCache:
 
     Exposes ``hits`` / ``misses`` / ``evictions`` counters so sweeps and
     benchmarks can report cache effectiveness.
+
+    Safe to share across the compile service's executor threads: lookups
+    and inserts hold one lock; the compile+exec of a missed module runs
+    outside it (a racing duplicate compile produces an equivalent
+    namespace, and last-write-wins keeps exactly one).
     """
 
     def __init__(self, capacity: int = DEFAULT_MODULE_CACHE_SIZE) -> None:
@@ -518,6 +524,7 @@ class ModuleCache:
             raise ValueError(f"cache capacity must be >= 1, got {capacity}")
         self._entries: "OrderedDict[str, dict]" = OrderedDict()
         self._capacity = capacity
+        self._lock = threading.RLock()
         self.hits = 0
         self.misses = 0
         self.evictions = 0
@@ -547,12 +554,13 @@ class ModuleCache:
         globals at call time, so the split is invisible to the module.
         """
         key = self.key_of(source)
-        namespace = self._entries.get(key)
-        if namespace is not None:
-            self.hits += 1
-            self._entries.move_to_end(key)
-            return namespace
-        self.misses += 1
+        with self._lock:
+            namespace = self._entries.get(key)
+            if namespace is not None:
+                self.hits += 1
+                self._entries.move_to_end(key)
+                return namespace
+            self.misses += 1
         namespace = {}
         if source.endswith(_RUNNER):
             head = source[: -len(_RUNNER)]
@@ -560,27 +568,31 @@ class ModuleCache:
             exec(_runner_code(), namespace)
         else:
             exec(compile(source, "<repro.target.pygen>", "exec"), namespace)
-        self._entries[key] = namespace
-        while len(self._entries) > self._capacity:
-            self._entries.popitem(last=False)
-            self.evictions += 1
+        with self._lock:
+            self._entries[key] = namespace
+            while len(self._entries) > self._capacity:
+                self._entries.popitem(last=False)
+                self.evictions += 1
         return namespace
 
     def discard(self, source: str) -> None:
         """Drop one entry (used by benchmarks to force a cold run)."""
-        self._entries.pop(self.key_of(source), None)
+        with self._lock:
+            self._entries.pop(self.key_of(source), None)
 
     def clear(self) -> None:
-        self._entries.clear()
-        self.hits = self.misses = self.evictions = 0
+        with self._lock:
+            self._entries.clear()
+            self.hits = self.misses = self.evictions = 0
 
     def resize(self, capacity: int) -> None:
         if capacity < 1:
             raise ValueError(f"cache capacity must be >= 1, got {capacity}")
-        self._capacity = capacity
-        while len(self._entries) > capacity:
-            self._entries.popitem(last=False)
-            self.evictions += 1
+        with self._lock:
+            self._capacity = capacity
+            while len(self._entries) > capacity:
+                self._entries.popitem(last=False)
+                self.evictions += 1
 
     def stats(self) -> dict:
         return {
@@ -620,13 +632,24 @@ def design_fingerprint(sp: SystolicProgram) -> str:
 
     Built from the canonical ``to_source()`` text and the exact step/place/
     loading numbers, so it is reproducible across processes -- the key of
-    the on-disk render cache.
+    the on-disk render cache and of the compile service's design store.
     """
-    array = sp.array
+    return fingerprint_of(sp.source, sp.array)
+
+
+def fingerprint_of(program, array) -> str:
+    """:func:`design_fingerprint` computed *before* compilation.
+
+    The fingerprint depends only on the source program and the array spec,
+    so callers that need the key up front (the compile service coalesces
+    identical in-flight compiles on it) can hash the request without paying
+    for ``compile_systolic`` first.  Identical by construction to the
+    fingerprint of the compiled ``SystolicProgram``.
+    """
     h = hashlib.sha256()
     h.update(PYGEN_FORMAT_VERSION.encode())
     h.update(b"\x00")
-    h.update(sp.source.to_source().encode())
+    h.update(program.to_source().encode())
     h.update(b"\x00")
     h.update(repr(array.step.rows).encode())
     h.update(b"\x00")

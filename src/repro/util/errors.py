@@ -87,3 +87,41 @@ class BackendUnsupportedError(CompilationError):
     something outside it, such as fractional coefficients.  Callers that
     have a slower general backend available should fall back to it.
     """
+
+
+# --- HTTP status mapping (used by the compile service) ----------------------
+#
+# The service daemon (``repro.service``) turns library exceptions into HTTP
+# responses.  The rule of thumb follows the hierarchy above: errors caused by
+# the *request contents* (malformed source program, inconsistent design
+# spec, bad symbolic forms the client submitted) are 4xx; errors caused by
+# the *server's* inability to carry out a well-formed request (compilation
+# scheme limits, missing optional backends, runtime faults) are 422/5xx.
+
+#: Most-derived-first (exception, status) mapping; order matters because
+#: ``BackendUnsupportedError`` derives from ``CompilationError``.
+_HTTP_STATUS_MAP: "tuple[tuple[type[BaseException], int], ...]" = (
+    (MissingDependencyError, 501),  # backend not installed on this server
+    (BackendUnsupportedError, 422),  # well-formed, outside backend's domain
+    (VerificationError, 422),  # request asked for an impossible check
+    (DeadlockError, 500),  # runtime fault while serving
+    (RuntimeSimulationError, 500),
+    (CompilationError, 422),  # valid input the scheme cannot systolize
+    (SourceProgramError, 400),  # the client's program is malformed
+    (SystolicSpecError, 400),  # the client's step/place spec is malformed
+    (SymbolicError, 400),
+    (GeometryError, 400),
+    (ReproError, 400),  # default: the request was the problem
+)
+
+
+def http_status(exc: BaseException) -> int:
+    """The HTTP status code the compile service reports for ``exc``.
+
+    Library errors map onto 4xx/422/501 per the table above; anything that
+    is not a :class:`ReproError` is an internal server error (500).
+    """
+    for exc_type, status in _HTTP_STATUS_MAP:
+        if isinstance(exc, exc_type):
+            return status
+    return 500

@@ -1,0 +1,316 @@
+"""Endpoint round-trips and HTTP error mapping for the compile service."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.scheme import compile_systolic
+from repro.service.daemon import state_to_json
+from repro.systolic.designs import all_paper_designs
+from repro.verify.equivalence import random_inputs
+
+from tests.service.conftest import paper_requests
+
+SIZES = {"D1": {"n": 4}, "D2": {"n": 4}, "E1": {"n": 3}, "E2": {"n": 3}}
+
+
+class TestPaperDesignRoundTrips:
+    @pytest.mark.parametrize(
+        "exp_id, source, design",
+        paper_requests(),
+        ids=[exp_id for exp_id, _, _ in paper_requests()],
+    )
+    def test_compile_summary_matches_library(
+        self, service_run, exp_id, source, design
+    ):
+        _, program, array = next(
+            t for t in all_paper_designs() if t[0] == exp_id
+        )
+        expected = compile_systolic(program, array).summary()
+
+        async def scenario(client, service):
+            status, payload = await client.compile(source, design)
+            assert status == 200
+            assert payload["summary"] == expected
+            assert payload["cached"] is False
+            # the fingerprint round-trips: a bare-fingerprint compile hits
+            status, again = await client.compile(
+                fingerprint=payload["fingerprint"]
+            )
+            assert status == 200
+            assert again["summary"] == expected
+            assert again["cached"] is True
+            return payload["fingerprint"]
+
+        fingerprint = service_run(scenario)
+        assert len(fingerprint) == 64
+
+    @pytest.mark.parametrize(
+        "exp_id, source, design",
+        paper_requests(),
+        ids=[exp_id for exp_id, _, _ in paper_requests()],
+    )
+    def test_execute_bit_identical_to_library_path(
+        self, service_run, exp_id, source, design
+    ):
+        from repro.verify.equivalence import _execute_backend
+
+        _, program, array = next(
+            t for t in all_paper_designs() if t[0] == exp_id
+        )
+        env = SIZES[exp_id]
+        sp = compile_systolic(program, array)
+        inputs = random_inputs(program, env, seed=0)
+        final, _ = _execute_backend("sim", sp, env, inputs, 1, partition=None)
+        expected = state_to_json(final)
+
+        async def scenario(client, service):
+            status, payload = await client.execute(
+                source=source, design=design, sizes=env, backend="sim"
+            )
+            assert status == 200
+            assert payload["matched"] is True
+            assert payload["results"] == [expected]
+
+        service_run(scenario)
+
+    @pytest.mark.parametrize(
+        "exp_id, source, design",
+        paper_requests(),
+        ids=[exp_id for exp_id, _, _ in paper_requests()],
+    )
+    def test_verify_matches(self, service_run, exp_id, source, design):
+        async def scenario(client, service):
+            status, payload = await client.verify(
+                source=source, design=design, sizes=SIZES[exp_id]
+            )
+            assert status == 200
+            assert payload["matched"] is True
+            assert payload["mismatch_count"] == 0
+            assert payload["makespan"] > 0
+
+        service_run(scenario)
+
+
+class TestEmit:
+    def test_emit_variants_match_cli_renderers(self, service_run):
+        from repro.target.build import build_target_program
+        from repro.target.cgen import render_c
+        from repro.target.occam import render_occam
+        from repro.target.pretty import render_paper
+
+        exp_id, source, design = paper_requests()[0]
+        _, program, array = all_paper_designs()[0]
+        target = build_target_program(compile_systolic(program, array))
+        expected = {
+            "paper": render_paper(target),
+            "occam": render_occam(target),
+            "c": render_c(target),
+        }
+
+        async def scenario(client, service):
+            for emit, text in expected.items():
+                status, payload = await client.compile(
+                    source, design, emit=emit
+                )
+                assert status == 200
+                assert payload["emitted"] == text
+
+        service_run(scenario)
+
+    def test_unknown_emit_is_400(self, service_run):
+        _, source, design = paper_requests()[0]
+
+        async def scenario(client, service):
+            status, payload = await client.compile(source, design, emit="ada")
+            assert status == 400
+            assert "emit" in payload["error"]
+
+        service_run(scenario)
+
+
+class TestErrorMapping:
+    def test_malformed_json_body_is_400(self, service_run):
+        import asyncio
+
+        async def scenario(client, service):
+            reader, writer = await asyncio.open_connection(
+                "127.0.0.1", service.port
+            )
+            writer.write(
+                b"POST /compile HTTP/1.1\r\n"
+                b"Content-Length: 9\r\n\r\nnot json!"
+            )
+            await writer.drain()
+            status_line = await reader.readline()
+            assert b"400" in status_line
+            headers = {}
+            while True:
+                line = await reader.readline()
+                if line in (b"\r\n", b"\n", b""):
+                    break
+                name, _, value = line.decode().partition(":")
+                headers[name.strip().lower()] = value.strip()
+            body = await reader.readexactly(int(headers["content-length"]))
+            assert b"malformed JSON" in body
+            writer.close()
+            # the daemon keeps serving afterwards
+            status, payload = await client.healthz()
+            assert status == 200
+            assert service.metrics.malformed == 1
+
+        service_run(scenario)
+
+    def test_parser_error_maps_to_400_with_diagnostic(self, service_run):
+        async def scenario(client, service):
+            status, payload = await client.compile(
+                "size n\nvar a[0..n]\nfor i = 0 <- 1 -> n\n  a[i] := b[i]",
+                {"step": [[1]], "place": [[1]]},
+            )
+            assert status == 400
+            # the PR-5 parser diagnostic comes through verbatim
+            assert "undeclared variable 'b'" in payload["error"]
+            assert payload["type"] == "SourceProgramError"
+
+        service_run(scenario)
+
+    def test_inconsistent_design_maps_to_400_family(self, service_run):
+        _, source, _ = paper_requests()[0]
+
+        async def scenario(client, service):
+            status, payload = await client.compile(
+                source, {"step": [[1, 1]], "place": [[1, 0]]}
+            )
+            assert status in (400, 422)
+            assert payload["type"].endswith("Error") or payload["type"].endswith("Violation")
+
+        service_run(scenario)
+
+    def test_missing_design_fields_400(self, service_run):
+        _, source, _ = paper_requests()[0]
+
+        async def scenario(client, service):
+            status, payload = await client.compile(source, {"step": [[2, 1]]})
+            assert status == 400
+            assert "place" in payload["error"]
+
+        service_run(scenario)
+
+    def test_unknown_fingerprint_400(self, service_run):
+        async def scenario(client, service):
+            status, payload = await client.execute(
+                fingerprint="f" * 64, sizes={"n": 2}
+            )
+            assert status == 400
+            assert "unknown design fingerprint" in payload["error"]
+
+        service_run(scenario)
+
+    def test_unknown_route_404_and_wrong_method_405(self, service_run):
+        async def scenario(client, service):
+            status, payload = await client.request("POST", "/nope", {})
+            assert status == 404
+            assert "/compile" in json.dumps(payload)
+            status, payload = await client.request("GET", "/compile")
+            assert status == 405
+            assert payload["allowed"] == ["POST"]
+
+        service_run(scenario)
+
+    def test_missing_sizes_400(self, service_run):
+        _, source, design = paper_requests()[0]
+
+        async def scenario(client, service):
+            status, payload = await client.execute(source=source, design=design)
+            assert status == 400
+            assert "sizes" in payload["error"]
+
+        service_run(scenario)
+
+    def test_bad_backend_400(self, service_run):
+        _, source, design = paper_requests()[0]
+
+        async def scenario(client, service):
+            status, payload = await client.execute(
+                source=source, design=design, sizes={"n": 2}, backend="cuda"
+            )
+            assert status == 400
+            assert "backend" in payload["error"]
+
+        service_run(scenario)
+
+    def test_oversized_body_413(self, service_run):
+        async def scenario(client, service):
+            status, payload = await client.request(
+                "POST", "/compile", {"source": "x" * 4096}
+            )
+            assert status == 413
+            assert "limit" in payload["error"]
+
+        service_run(scenario, max_body_bytes=2048)
+
+
+class TestOperationalEndpoints:
+    def test_healthz_and_stats_shape(self, service_run):
+        _, source, design = paper_requests()[0]
+
+        async def scenario(client, service):
+            status, health = await client.healthz()
+            assert status == 200
+            assert health["status"] == "ok"
+            assert health["designs"] == 0
+            await client.compile(source, design)
+            status, stats = await client.stats()
+            assert status == 200
+            assert stats["store"]["designs"] == 1
+            assert stats["store"]["misses"] == 1
+            endpoint = stats["service"]["endpoints"]["compile"]
+            assert endpoint["requests"] == 1
+            assert endpoint["latency"]["count"] == 1
+            assert endpoint["latency"]["p95_s"] >= endpoint["latency"]["p50_s"]
+            assert "memo" in stats and "module_cache" in stats
+            assert "memo_tables" in stats
+
+        service_run(scenario)
+
+    def test_explore_matches_serial_sweep(self, service_run):
+        from repro.lang.parser import parse_program
+        from repro.parallel import sweep_designs
+        from repro.systolic.schedule import synthesize_step
+
+        _, source, _ = paper_requests()[0]
+        program = parse_program(source)
+        step = synthesize_step(program, bound=2)[0]
+        expected = sweep_designs(program, step, [{"n": 4}], bound=1, limit=4)
+
+        async def scenario(client, service):
+            status, payload = await client.explore(
+                source=source, sizes={"n": 4}, limit=4
+            )
+            assert status == 200
+            assert payload["step"] == [list(r) for r in step.rows]
+            rows = payload["tables"][0]["rows"]
+            assert rows == [c.row() for c in expected.by_size[0][1]]
+
+        service_run(scenario)
+
+    def test_fuzz_replay_known_pin(self, service_run):
+        async def scenario(client, service):
+            status, payload = await client.fuzz_replay("2c6a5806697e")
+            assert status == 200
+            assert payload["file"] == "seed_2c6a5806697e.json"
+            assert payload["expect"] == "pass"
+            assert payload["ok"] is True
+            assert payload["checks_run"]
+
+        service_run(scenario)
+
+    def test_fuzz_replay_unknown_ref_400(self, service_run):
+        async def scenario(client, service):
+            status, payload = await client.fuzz_replay("deadbeef")
+            assert status == 400
+            assert "no reproducer matching" in payload["error"]
+
+        service_run(scenario)

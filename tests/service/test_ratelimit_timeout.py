@@ -1,0 +1,186 @@
+"""Rate limiting (unit + end-to-end 429) and timeout-cancellation recovery."""
+
+from __future__ import annotations
+
+import asyncio
+import time
+
+import pytest
+
+import repro.service.store as store_mod
+from repro.service.ratelimit import RateLimiter, TokenBucket
+from repro.util.errors import ReproError
+from tests.service.conftest import paper_requests
+
+REAL_COMPILE = store_mod.compile_systolic
+
+
+class TestTokenBucket:
+    def test_burst_then_refill(self):
+        bucket = TokenBucket(rate=1.0, burst=2, now=0.0)
+        assert bucket.take(0.0) is True
+        assert bucket.take(0.0) is True
+        assert bucket.take(0.0) is False
+        assert bucket.retry_after(0.0) == pytest.approx(1.0)
+        # one second later exactly one token has accrued
+        assert bucket.take(1.0) is True
+        assert bucket.take(1.0) is False
+
+    def test_tokens_cap_at_burst(self):
+        bucket = TokenBucket(rate=10.0, burst=3, now=0.0)
+        for _ in range(3):
+            assert bucket.take(100.0) is True  # long idle: still only burst
+        assert bucket.take(100.0) is False
+
+    def test_retry_after_scales_with_rate(self):
+        bucket = TokenBucket(rate=4.0, burst=1, now=0.0)
+        assert bucket.take(0.0) is True
+        assert bucket.retry_after(0.0) == pytest.approx(0.25)
+
+
+class TestRateLimiter:
+    def fake_clock(self, start: float = 0.0):
+        state = {"now": start}
+
+        def clock():
+            return state["now"]
+
+        return state, clock
+
+    def test_disabled_always_allows(self):
+        limiter = RateLimiter(rate=0.0)
+        assert all(limiter.allow("t") for _ in range(100))
+        assert limiter.snapshot()["enabled"] is False
+        assert limiter.retry_after("t") == 0.0
+
+    def test_per_tenant_isolation(self):
+        state, clock = self.fake_clock()
+        limiter = RateLimiter(rate=1.0, burst=1, clock=clock)
+        assert limiter.allow("alice") is True
+        assert limiter.allow("alice") is False
+        assert limiter.allow("bob") is True  # separate bucket
+        state["now"] = 1.0
+        assert limiter.allow("alice") is True
+
+    def test_lru_eviction_bounds_tenant_table(self):
+        state, clock = self.fake_clock()
+        limiter = RateLimiter(rate=1.0, burst=1, max_tenants=2, clock=clock)
+        limiter.allow("a")
+        limiter.allow("b")
+        limiter.allow("c")  # evicts a
+        snap = limiter.snapshot()
+        assert snap["tenants"] == 2
+        assert snap["evictions"] == 1
+        # a's bucket is fresh again: full burst despite no elapsed time
+        assert limiter.allow("a") is True
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(ReproError):
+            RateLimiter(rate=1.0, burst=0)
+        with pytest.raises(ReproError):
+            RateLimiter(max_tenants=0)
+
+
+class TestServiceRateLimiting:
+    def test_429_with_retry_hint_and_tenant_isolation(self, service_run):
+        _, source, design = paper_requests()[0]
+
+        async def scenario(client, service):
+            statuses = []
+            for _ in range(4):
+                status, payload = await client.compile(source, design)
+                statuses.append(status)
+            assert statuses == [200, 200, 429, 429]
+            assert payload["tenant"] == "default"
+            assert payload["retry_after_s"] > 0
+            assert "requests/s" in payload["error"]
+            # another tenant has its own bucket
+            from repro.service.client import ServiceClient
+
+            other = ServiceClient("127.0.0.1", service.port, tenant="bob")
+            try:
+                status, _ = await other.compile(source, design)
+                assert status == 200
+            finally:
+                await other.close()
+            assert service.metrics.rate_limited == 2
+            assert service.limiter.snapshot()["rejected"] == 2
+
+        service_run(scenario, rate=0.001, burst=2)
+
+    def test_healthz_and_stats_exempt_from_limiting(self, service_run):
+        async def scenario(client, service):
+            for _ in range(10):
+                status, _ = await client.healthz()
+                assert status == 200
+                status, _ = await client.stats()
+                assert status == 200
+            assert service.metrics.rate_limited == 0
+
+        service_run(scenario, rate=0.001, burst=1)
+
+
+class TestTimeoutRecovery:
+    def test_timeout_never_cancels_the_derivation(
+        self, service_run, monkeypatch
+    ):
+        _, source, design = paper_requests()[3]
+
+        def slow(program, array):
+            time.sleep(0.3)
+            return REAL_COMPILE(program, array)
+
+        monkeypatch.setattr(store_mod, "compile_systolic", slow)
+
+        async def scenario(client, service):
+            status, payload = await client.compile(source, design)
+            assert status == 504
+            assert "retry to pick up the cached result" in payload["error"]
+            assert payload["timeout_s"] == pytest.approx(0.05)
+            assert service.metrics.timeouts == 1
+            # the derivation is still running in the background; wait for
+            # it to publish, then the very same request is a cache hit
+            for _ in range(200):
+                if service.store.inflight == 0:
+                    break
+                await asyncio.sleep(0.01)
+            assert service.store.inflight == 0
+            assert len(service.store) == 1
+            status, payload = await client.compile(source, design)
+            assert status == 200
+            assert payload["cached"] is True
+            snap = service.store.snapshot()
+            assert snap["misses"] == 1  # compiled exactly once
+            assert snap["hits"] == 1
+
+        service_run(scenario, timeout_s=0.05)
+
+    def test_coalesced_waiters_share_one_timeout_story(
+        self, service_run, monkeypatch
+    ):
+        _, source, design = paper_requests()[3]
+
+        def slow(program, array):
+            time.sleep(0.3)
+            return REAL_COMPILE(program, array)
+
+        monkeypatch.setattr(store_mod, "compile_systolic", slow)
+
+        async def scenario(clients, service):
+            results = await asyncio.gather(
+                *(c.compile(source, design) for c in clients)
+            )
+            assert [status for status, _ in results] == [504] * len(clients)
+            snap = service.store.snapshot()
+            assert snap["misses"] == 1
+            assert snap["coalesced"] == len(clients) - 1
+            for _ in range(200):
+                if service.store.inflight == 0:
+                    break
+                await asyncio.sleep(0.01)
+            status, payload = await clients[0].compile(source, design)
+            assert status == 200
+            assert payload["cached"] is True
+            assert service.store.snapshot()["misses"] == 1
+
+        service_run(scenario, clients=3, timeout_s=0.05)

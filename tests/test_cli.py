@@ -165,3 +165,81 @@ class TestSynthesizeGuard:
         assert main(["synthesize", SOURCE]) == 2
         err = capsys.readouterr().err
         assert "error:" in err and "step candidate" in err
+
+
+class TestExecuteErrorPaths:
+    """Regression tests for CLI error paths that previously had none."""
+
+    @pytest.mark.parametrize("shape", ["0x2", "2x0", "-1", "0"])
+    def test_invalid_array_shape_nonpositive(self, shape, capsys):
+        assert main(
+            ["execute", SOURCE, DESIGN, "-s", "n=2", "--array", shape]
+        ) == 2
+        err = capsys.readouterr().err
+        assert "error:" in err
+        assert "array shape must be positive" in err
+        assert repr(shape) in err
+
+    @pytest.mark.parametrize("shape", ["2xq", "axb", "2x"])
+    def test_invalid_array_shape_noninteger(self, shape, capsys):
+        assert main(
+            ["execute", SOURCE, DESIGN, "-s", "n=2", "--array", shape]
+        ) == 2
+        err = capsys.readouterr().err
+        assert "error:" in err
+        assert "array shape must be P or PxQ" in err
+        assert repr(shape) in err
+
+    def test_array_with_pygen_backend_refused(self, capsys):
+        assert main(
+            ["execute", SOURCE, DESIGN, "-s", "n=2",
+             "--backend", "pygen", "--array", "2"]
+        ) == 2
+        err = capsys.readouterr().err
+        assert "pygen" in err and "partitioned" in err
+
+    def test_npgen_without_numpy_names_the_extra(self, monkeypatch, capsys):
+        import sys as _sys
+
+        monkeypatch.setitem(_sys.modules, "numpy", None)
+        assert main(
+            ["execute", SOURCE, DESIGN, "-s", "n=2", "--backend", "npgen"]
+        ) == 2
+        err = capsys.readouterr().err
+        assert "error:" in err
+        assert "repro[np]" in err
+
+    def test_bad_size_pair(self, capsys):
+        assert main(["execute", SOURCE, DESIGN, "-s", "n:2"]) == 2
+        err = capsys.readouterr().err
+        assert "name=value" in err
+
+
+class TestServeFlagValidation:
+    """``repro serve`` flag validation: exit 2 naming the offending flag."""
+
+    @pytest.mark.parametrize(
+        "flags, needle",
+        [
+            (["--rate", "-0.5"], "--rate"),
+            (["--burst", "0"], "--burst"),
+            (["--timeout", "0"], "--timeout"),
+            (["--timeout", "-3"], "--timeout"),
+            (["--workers", "0"], "--workers"),
+            (["--max-tenants", "0"], "--max-tenants"),
+            (["--max-designs", "0"], "--max-designs"),
+            (["--port", "70000"], "--port"),
+            (["--port", "-1"], "--port"),
+        ],
+    )
+    def test_invalid_serve_flags(self, flags, needle, capsys):
+        assert main(["serve", *flags]) == 2
+        err = capsys.readouterr().err
+        assert "error:" in err
+        assert needle in err
+
+    def test_validate_serve_args_accepts_defaults(self):
+        from repro.cli import build_parser, validate_serve_args
+
+        args = build_parser().parse_args(["serve"])
+        validate_serve_args(args)  # must not raise

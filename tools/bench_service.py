@@ -1,0 +1,269 @@
+#!/usr/bin/env python3
+"""Benchmark the compile service daemon end to end.
+
+Boots a :class:`CompileService` in-process on an ephemeral loopback port
+and measures it over real sockets with the stdlib JSON client.  Writes
+``BENCH_service.json`` at the repository root:
+
+- warm-hit throughput: sequential ``/compile`` requests answered from the
+  design store (the steady-state cost of one request round-trip),
+- concurrent throughput over K connections, with the daemon-side p50/p95
+  latency histogram for the run,
+- a coalescing proof: N concurrent identical compiles of a cleared design
+  must cost exactly one derivation (store counters),
+- bit-identity: ``/compile`` summaries and emitted paper text, ``/verify``
+  verdicts and ``/execute`` result states for all four paper designs must
+  equal the serial library path the CLI uses.
+
+Usage:
+    PYTHONPATH=src python tools/bench_service.py [--check] [-o OUT.json]
+        [--requests N] [--clients N] [--min-hit-rps N]
+
+``--check`` exits non-zero unless warm-hit throughput meets the
+``--min-hit-rps`` floor (default 200/s), the coalescing proof holds, and
+every bit-identity comparison matches.
+"""
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import pathlib
+import platform
+import sys
+import time
+
+_ROOT = pathlib.Path(__file__).resolve().parent.parent
+_SRC = _ROOT / "src"
+for p in (str(_ROOT), str(_SRC)):
+    if p not in sys.path:
+        sys.path.insert(0, p)
+
+from repro.core.scheme import compile_systolic
+from repro.lang.parser import parse_program
+from repro.service import CompileService, ServiceClient, ServiceConfig
+from repro.service.daemon import state_to_json
+from repro.systolic.designs import all_paper_designs
+from repro.target.build import build_target_program
+from repro.target.pretty import render_paper
+from repro.verify.equivalence import _execute_backend, random_inputs
+
+SIZES = {"D1": {"n": 4}, "D2": {"n": 4}, "E1": {"n": 3}, "E2": {"n": 3}}
+
+
+def design_payload(array) -> dict:
+    return {
+        "step": [list(r) for r in array.step.rows],
+        "place": [list(r) for r in array.place.rows],
+        "loading": {
+            name: [int(c) for c in vec]
+            for name, vec in sorted(array.loading_vectors.items())
+        },
+        "name": array.name,
+    }
+
+
+async def bench_warm_hits(client, source, design, requests: int) -> dict:
+    """Sequential compile requests answered from the design store."""
+    status, first = await client.compile(source, design)
+    assert status == 200, first
+    # warm-up round-trips before timing
+    for _ in range(10):
+        await client.compile(source, design)
+    started = time.perf_counter()
+    for _ in range(requests):
+        status, payload = await client.compile(source, design)
+        assert status == 200
+        assert payload["cached"] is True
+    elapsed = time.perf_counter() - started
+    return {
+        "requests": requests,
+        "elapsed_s": round(elapsed, 6),
+        "requests_per_s": round(requests / elapsed, 1),
+    }
+
+
+async def bench_concurrent(service, source, design, clients: int, requests: int) -> dict:
+    """Aggregate throughput over ``clients`` keep-alive connections."""
+    pool = [ServiceClient("127.0.0.1", service.port) for _ in range(clients)]
+    per_client = max(1, requests // clients)
+
+    async def worker(client):
+        for _ in range(per_client):
+            status, _ = await client.compile(source, design)
+            assert status == 200
+
+    try:
+        started = time.perf_counter()
+        await asyncio.gather(*(worker(c) for c in pool))
+        elapsed = time.perf_counter() - started
+    finally:
+        for client in pool:
+            await client.close()
+    total = per_client * clients
+    latency = service.metrics.endpoints["compile"].latency
+    return {
+        "clients": clients,
+        "requests": total,
+        "elapsed_s": round(elapsed, 6),
+        "requests_per_s": round(total / elapsed, 1),
+        "daemon_p50_s": latency.quantile(0.50),
+        "daemon_p95_s": latency.quantile(0.95),
+    }
+
+
+async def bench_coalescing(service, source, design, waiters: int) -> dict:
+    """N concurrent identical compiles of a cleared design: one derivation."""
+    service.store.clear()
+    pool = [ServiceClient("127.0.0.1", service.port) for _ in range(waiters)]
+    try:
+        results = await asyncio.gather(
+            *(c.compile(source, design) for c in pool)
+        )
+    finally:
+        for client in pool:
+            await client.close()
+    snap = service.store.snapshot()
+    return {
+        "waiters": waiters,
+        "statuses_ok": all(status == 200 for status, _ in results),
+        "store_misses": snap["misses"],
+        "store_coalesced": snap["coalesced"],
+        "store_hits": snap["hits"],
+        "one_derivation": snap["misses"] == 1
+        and snap["hits"] + snap["coalesced"] == waiters - 1,
+    }
+
+
+async def bench_bit_identity(client) -> dict:
+    """Service responses vs the serial library path the CLI drives."""
+    designs = []
+    for exp_id, program, array in all_paper_designs():
+        env = SIZES[exp_id]
+        source = program.to_source()
+        design = design_payload(array)
+        # the daemon parses the request source itself; mirror that exactly
+        parsed = parse_program(source)
+        sp = compile_systolic(parsed, array)
+        summary = sp.summary()
+        emitted = render_paper(build_target_program(sp))
+        inputs = random_inputs(parsed, env, seed=0)
+        final, _ = _execute_backend("sim", sp, env, inputs, 1, partition=None)
+        expected_state = state_to_json(final)
+
+        status, compiled = await client.compile(source, design, emit="paper")
+        compile_ok = (
+            status == 200
+            and compiled["summary"] == summary
+            and compiled["emitted"] == emitted
+        )
+        status, verified = await client.verify(
+            source=source, design=design, sizes=env
+        )
+        verify_ok = status == 200 and verified["matched"] is True
+        status, executed = await client.execute(
+            source=source, design=design, sizes=env, backend="sim"
+        )
+        execute_ok = (
+            status == 200
+            and executed["matched"] is True
+            and executed["results"] == [expected_state]
+        )
+        designs.append(
+            {
+                "design": exp_id,
+                "compile_identical": compile_ok,
+                "verify_matched": verify_ok,
+                "execute_identical": execute_ok,
+            }
+        )
+    return {
+        "designs": designs,
+        "all_identical": all(
+            d["compile_identical"] and d["verify_matched"] and d["execute_identical"]
+            for d in designs
+        ),
+    }
+
+
+async def run_benchmarks(args) -> dict:
+    service = CompileService(ServiceConfig())
+    await service.start()
+    client = ServiceClient("127.0.0.1", service.port)
+    try:
+        _, program, array = all_paper_designs()[0]
+        source = program.to_source()
+        design = design_payload(array)
+        warm = await bench_warm_hits(client, source, design, args.requests)
+        concurrent = await bench_concurrent(
+            service, source, design, args.clients, args.requests
+        )
+        coalescing = await bench_coalescing(service, source, design, 16)
+        identity = await bench_bit_identity(client)
+        stats = service.metrics.snapshot()
+    finally:
+        await client.close()
+        await service.stop()
+    return {
+        "bench": "service",
+        "python": platform.python_version(),
+        "warm_hit": warm,
+        "concurrent": concurrent,
+        "coalescing": coalescing,
+        "bit_identity": identity,
+        "daemon": {
+            "connections": stats["connections"],
+            "endpoints": {
+                name: m["requests"] for name, m in stats["endpoints"].items()
+            },
+        },
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--check", action="store_true", help="gate and exit non-zero on regression")
+    parser.add_argument("-o", "--output", default=str(_ROOT / "BENCH_service.json"))
+    parser.add_argument("--requests", type=int, default=400, help="timed requests per throughput section")
+    parser.add_argument("--clients", type=int, default=8, help="connections for the concurrent section")
+    parser.add_argument("--min-hit-rps", type=float, default=200.0, help="warm-hit requests/s floor for --check")
+    args = parser.parse_args(argv)
+
+    report = asyncio.run(run_benchmarks(args))
+    out = pathlib.Path(args.output)
+    out.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {out}")
+    print(
+        f"warm-hit {report['warm_hit']['requests_per_s']}/s, "
+        f"concurrent {report['concurrent']['requests_per_s']}/s "
+        f"over {report['concurrent']['clients']} clients, "
+        f"daemon p95 {report['concurrent']['daemon_p95_s']}s"
+    )
+
+    if not args.check:
+        return 0
+    failures = []
+    if report["warm_hit"]["requests_per_s"] < args.min_hit_rps:
+        failures.append(
+            f"warm-hit throughput {report['warm_hit']['requests_per_s']}/s "
+            f"below the {args.min_hit_rps}/s floor"
+        )
+    if not report["coalescing"]["one_derivation"]:
+        failures.append(
+            "concurrent identical requests did not coalesce to one "
+            f"derivation: {report['coalescing']}"
+        )
+    if not report["bit_identity"]["all_identical"]:
+        failures.append(
+            f"service responses diverged from the library path: "
+            f"{report['bit_identity']['designs']}"
+        )
+    for failure in failures:
+        print(f"CHECK FAILED: {failure}", file=sys.stderr)
+    if not failures:
+        print("all checks passed")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
