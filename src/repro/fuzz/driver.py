@@ -38,6 +38,9 @@ NPGEN_EVERY = 3
 #: partitioned execution re-runs the whole folded simulation (plus the
 #: banded npgen pass) -- comparable cost to the plain simulator check
 PARTITION_EVERY = 4
+#: the scheduler-engine A/B (fast single-op vs generic slots) runs the
+#: simulation twice with tracing -- two extra simulator-cost passes
+SCHED_AB_EVERY = 6
 #: the metamorphic cache-stack invariants (memo A/B, pickle round-trip,
 #: render cache, repeated execution) re-render or recompile the whole
 #: module; each runs on every 4th instance, staggered so each iteration
@@ -146,6 +149,8 @@ def iteration_config(base: HarnessConfig, iteration: int) -> HarnessConfig:
         or iteration % NPGEN_EVERY == NPGEN_EVERY - 1,
         check_partition=base.check_partition
         or iteration % PARTITION_EVERY == PARTITION_EVERY - 1,
+        check_sched_ab=base.check_sched_ab
+        or iteration % SCHED_AB_EVERY == SCHED_AB_EVERY - 1,
         check_memo_ab=base.check_memo_ab and m == 0,
         check_pickle=base.check_pickle and m == 1,
         check_render_cache=base.check_render_cache and m == 2,
@@ -351,6 +356,7 @@ def fuzz_run(
                 check_threaded=False,
                 check_capacity=False,
                 check_partition=False,
+                check_sched_ab=False,
                 check_pool=False,
             )
             instance = instance_from_json(failure.original_json)

@@ -21,7 +21,10 @@ from typing import Any
 from repro.util.errors import RuntimeSimulationError
 
 
-@dataclass
+# slots=True: one Message per carried element; the scheduler's fast engine
+# also constructs these directly when it inlines the push transition
+# (scheduler._single_send), so keep the two fields in sync with push().
+@dataclass(slots=True)
 class Message:
     value: Any
     timestamp: int

@@ -129,7 +129,11 @@ class ProcessNetwork:
 
 
 #: a process factory: given the instantiation's channel list and host,
-#: return the live generator for one process
+#: return the live generator for one process.  The plan stores each with a
+#: ``single_op`` flag -- True when the factory's body only ever yields bare
+#: Send/Recv requests -- forwarded to ``Scheduler.spawn`` so the fast
+#: engine's dispatch test is hoisted out of every yield for those
+#: processes.
 _Factory = Callable[[list[Channel], Host], Any]
 
 
@@ -155,7 +159,7 @@ class NetworkPlan:
         self.env = dict(env)
         self.channel_names: list[str] = []
         self.channel_ends: list[tuple[Point | None, Point | None]] = []
-        self.processes: list[tuple[str, _Factory]] = []
+        self.processes: list[tuple[str, _Factory, bool]] = []
         self.node_counts = {
             "compute": 0, "buffer": 0, "latch": 0, "input": 0, "output": 0
         }
@@ -222,8 +226,8 @@ class NetworkPlan:
                 channels.append(Channel(name, capacity=capacity))
         for chan in channels:
             scheduler.add_channel(chan)
-        for name, factory in self.processes:
-            scheduler.spawn(name, factory(channels, host))
+        for name, factory, single in self.processes:
+            scheduler.spawn(name, factory(channels, host), single_op=single)
         return ProcessNetwork(
             program=self.sp,
             env=self.env,
@@ -334,7 +338,11 @@ class _PlanBuilder:
                 for k in range(latches):
                     buffered = self._channel(f"{name}_buff[{y}#{k}]")
                     self.plan.processes.append(
-                        (f"L:{name}{y}#{k}", self._latch_factory(feed, buffered, total))
+                        (
+                            f"L:{name}{y}#{k}",
+                            self._latch_factory(feed, buffered, total),
+                            True,
+                        )
                     )
                     self.plan.node_counts["latch"] += 1
                     feed = buffered
@@ -365,8 +373,8 @@ class _PlanBuilder:
 
                 return body()
 
-            self.plan.processes.append((f"IN:{name}{start}", make_input))
-            self.plan.processes.append((f"OUT:{name}{end}", make_output))
+            self.plan.processes.append((f"IN:{name}{start}", make_input, True))
+            self.plan.processes.append((f"OUT:{name}{end}", make_output, True))
             self.plan.node_counts["input"] += 1
             self.plan.node_counts["output"] += 1
 
@@ -397,7 +405,7 @@ class _PlanBuilder:
             cin = self.in_chan[plan.name][y]
             cout = self.out_chan[plan.name][y]
             self.plan.processes.append(
-                (f"B:{plan.name}{y}", self._latch_factory(cin, cout, amount))
+                (f"B:{plan.name}{y}", self._latch_factory(cin, cout, amount), True)
             )
         self.plan.node_counts["buffer"] += 1
 
@@ -498,7 +506,10 @@ class _PlanBuilder:
 
             return body()
 
-        self.plan.processes.append((f"P{y}", make))
+        # A compute node with moving streams yields Par requests in its
+        # repeater; only the no-moving-stream (fully stationary) case is
+        # single-op throughout.
+        self.plan.processes.append((f"P{y}", make, not moving))
         self.plan.node_counts["compute"] += 1
 
     # ------------------------------------------------------------------

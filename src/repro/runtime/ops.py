@@ -27,7 +27,10 @@ from repro.runtime.channel import Channel
 from repro.util.errors import RuntimeSimulationError
 
 
-@dataclass
+# slots=True: requests are allocated on the hot scheduler path (one Send
+# per latch/repeater move) and their attributes are read on every dispatch;
+# slotted instances are smaller and the reads skip the instance dict.
+@dataclass(slots=True)
 class Send:
     channel: Channel
     value: Any
@@ -36,7 +39,7 @@ class Send:
         return f"Send({self.channel.name})"
 
 
-@dataclass
+@dataclass(slots=True)
 class Recv:
     channel: Channel
 
@@ -44,7 +47,7 @@ class Recv:
         return f"Recv({self.channel.name})"
 
 
-@dataclass
+@dataclass(slots=True)
 class Par:
     ops: tuple[Union[Send, Recv], ...]
 

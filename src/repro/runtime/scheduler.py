@@ -20,19 +20,51 @@ through the communication graph, the asynchronous analogue of the systolic
 array's synchronous step count.  (Backpressure stalls -- a sender waiting
 for channel space -- are not charged to the clock; the metric tracks data
 dependences only.)
+
+Two execution engines share this machinery:
+
+* the **generic engine** handles every request through the ``_Slot`` list
+  -- one slot per sub-operation, ``all(slot.done)`` completion scans, and
+  a per-slot parking loop;
+* the **fast engine** (default) specializes the dominant request shape --
+  a bare ``Send`` or ``Recv``, which a measured D.1 run is ~3/4 of all
+  yields -- by completing or parking the operation directly against the
+  channel: rendezvous, push and drain transitions are inlined, the slot
+  list and every completion scan are skipped, and the resume path reads a
+  single precomputed flag instead of re-inspecting the request.  ``Par``
+  requests fall through to the generic machinery unchanged, and the two
+  engines interoperate freely on the same channels (a parked ``Par`` slot
+  is woken by a fast-path sender and vice versa).
+
+``REPRO_SCHED_FAST=0`` selects the generic engine for every request -- the
+A/B baseline the fuzz harness and ``tools/bench_sched.py`` compare against.
+Both engines execute the identical FIFO interleaving: values, stats, trace
+streams and deadlock reports are bit-identical by construction (enforced by
+the sampled ``sched_ab`` metamorphic check).
 """
 
 from __future__ import annotations
 
+import os
 from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Generator
 
-from repro.runtime.channel import Channel
+from repro.runtime.channel import Channel, Message
 from repro.runtime.ops import Op, Par, Recv, Send
 from repro.util.errors import DeadlockError, RuntimeSimulationError
 
 ProcessBody = Generator[Op, Any, None]
+
+
+def fast_engine_enabled() -> bool:
+    """Whether new schedulers use the specialized single-op engine.
+
+    Read per :class:`Scheduler` construction, so ``REPRO_SCHED_FAST=0``
+    toggled around an instantiation (the harness A/B check does exactly
+    that) selects the generic engine for that run only.
+    """
+    return os.environ.get("REPRO_SCHED_FAST", "1") != "0"
 
 
 class _Slot:
@@ -48,7 +80,8 @@ class _Slot:
 
 class _ProcState:
     __slots__ = ("name", "gen", "slots", "was_par", "clock", "yield_clock",
-                 "finished", "steps", "own_slot", "own_list")
+                 "finished", "steps", "own_slot", "own_list", "single",
+                 "is_send", "par1", "par_slots", "pending", "advance")
 
     def __init__(self, name: str, gen: ProcessBody) -> None:
         self.name = name
@@ -60,10 +93,29 @@ class _ProcState:
         self.finished = False
         self.steps = 0
         # Reused for every non-Par request: a completed slot is always
-        # unparked before its process resumes, so by the time _advance
-        # resets these no live reference can remain (see _drain_*).
+        # unparked before its process resumes, so by the time the next
+        # request resets these no live reference can remain (see _drain_*).
         self.own_slot = _Slot(None)
         self.own_list = [self.own_slot]
+        #: current request went through the fast single-op path; the resume
+        #: loop then reads ``own_slot`` directly instead of scanning slots
+        self.single = False
+        #: fast path only: trace kind of the current request without an
+        #: isinstance test at resume time
+        self.is_send = False
+        #: fast path only: the request was a one-member Par riding the
+        #: single-op machinery -- resume list-wraps the result and traces
+        #: as "par" (identical to the generic engine's handling)
+        self.par1 = False
+        #: fast path only: reusable slot vector for multi-member Pars (the
+        #: Par analogue of own_slot -- safe for the same reason) and the
+        #: count of its not-yet-completed slots (replaces the all() scans)
+        self.par_slots: list[_Slot] | None = None
+        self.pending = 0
+        #: the advance routine driving this process, bound at spawn time --
+        #: plan-declared single-op processes skip the engine dispatch test
+        #: entirely (see Scheduler.spawn)
+        self.advance: Any = None
 
 
 @dataclass
@@ -99,13 +151,20 @@ class Scheduler:
         self._trace: Any = None
         #: whether the current run maintains Lamport clocks (set by run())
         self._timing: bool = True
+        #: engine selection, fixed at construction (REPRO_SCHED_FAST)
+        self._fast: bool = fast_engine_enabled()
+        #: a scheduler runs exactly once; re-entry raises
+        self._ran: bool = False
 
     def assign_workers(self, assignment: dict[str, int]) -> None:
         """Pin each process to a physical worker for virtual-time costing.
 
-        Every process name must be covered (processes spawned later inherit
-        no worker and stay unserialized).  Affects only the clock model, not
-        the communication semantics or results.
+        Every spawned process name must be covered -- ``run()`` validates
+        the assignment against the spawned set and raises
+        :class:`RuntimeSimulationError` listing any uncovered processes (a
+        typo'd name used to be silently skipped, quietly producing wrong
+        makespans).  Affects only the clock model, not the communication
+        semantics or results.
         """
         self._worker_of = dict(assignment)
         self._worker_clock = {}
@@ -127,14 +186,29 @@ class Scheduler:
         """Names of all spawned processes."""
         return tuple(p.name for p in self._procs)
 
-    def spawn(self, name: str, gen: ProcessBody) -> None:
+    def spawn(self, name: str, gen: ProcessBody, *, single_op: bool = False) -> None:
+        """Register a process.
+
+        ``single_op=True`` declares that the generator only ever yields
+        bare ``Send``/``Recv`` requests (the :class:`~repro.runtime.network.
+        NetworkPlan` pre-binds this for latch, buffer and i/o processes, and
+        for compute processes without moving streams), hoisting the engine
+        dispatch test out of every yield.  The declaration is a hint, not a
+        contract: a ``Par`` from a declared process still takes the generic
+        path with identical semantics.
+        """
         if name in self._names:
             raise RuntimeSimulationError(f"duplicate process name {name!r}")
         self._names.add(name)
-        self._procs.append(_ProcState(name, gen))
+        proc = _ProcState(name, gen)
+        if self._fast and single_op:
+            proc.advance = self._advance_single
+        else:
+            proc.advance = self._advance
+        self._procs.append(proc)
 
     # ------------------------------------------------------------------
-    # communication machinery
+    # communication machinery (generic engine / Par slots)
     # ------------------------------------------------------------------
     def _try_send(self, proc: _ProcState, slot: _Slot) -> bool:
         """Complete a send: direct handoff to a parked receiver (rendezvous)
@@ -213,9 +287,184 @@ class Scheduler:
             self._maybe_wake(other)
 
     def _maybe_wake(self, proc: _ProcState) -> None:
-        """Move a parked process back to ready when its request completed."""
-        if proc.slots is not None and all(s.done for s in proc.slots):
+        """Move a parked process back to ready when its request completed.
+
+        Every caller has just completed exactly one of ``proc``'s slots, so
+        on the fast engine the Par branch is a counter decrement instead of
+        an ``all(slot.done)`` scan; the generic engine keeps the scan.
+        """
+        slots = proc.slots
+        if slots is None:
+            return
+        if proc.single:
+            if proc.own_slot.done:
+                self._ready.append(proc)
+        elif self._fast:
+            pending = proc.pending - 1
+            proc.pending = pending
+            if pending == 0:
+                self._ready.append(proc)
+        elif all(s.done for s in slots):
             self._ready.append(proc)
+
+    # ------------------------------------------------------------------
+    # fast engine: single-op complete-or-park, no slot list, no scans
+    # ------------------------------------------------------------------
+    def _single_send(self, proc: _ProcState, op) -> None:
+        """Inlined ``_try_send`` + park for a bare ``Send``.
+
+        Completion/wake order matches the generic engine exactly: the
+        counterpart (or drained receivers) enqueue *before* this process,
+        so the FIFO interleaving -- and hence every stat and trace stream
+        -- is unchanged.
+        """
+        proc.single = True
+        proc.is_send = True
+        proc.par1 = False
+        slot = proc.own_slot
+        slot.result = None
+        proc.slots = proc.own_list
+        chan: Channel = op.channel
+        ready = self._ready
+        waiting = chan.waiting_receivers
+        while waiting:
+            other, rslot = waiting.popleft()
+            if rslot.done:
+                continue
+            # rendezvous: hand the value straight to the parked receiver
+            rslot.done = True
+            rslot.result = op.value
+            chan.messages_carried += 1
+            if self._timing:
+                stamp = proc.yield_clock + 1
+                if stamp > other.clock:
+                    other.clock = stamp
+            slot.done = True
+            # inlined _maybe_wake: rslot just completed, so a single-op
+            # peer is ready by construction; a fast-Par peer decrements
+            # its pending counter exactly as _maybe_wake would
+            if other.single:
+                ready.append(other)
+            elif other.slots is not None:
+                pending = other.pending - 1
+                other.pending = pending
+                if pending == 0:
+                    ready.append(other)
+            ready.append(proc)
+            return
+        queue = chan.queue
+        if len(queue) < chan.capacity:
+            # push into free space (inlined Channel.push); the rendezvous
+            # loop above emptied waiting_receivers, so there is nobody to
+            # drain -- the guard keeps the no-op call off the hot path
+            queue.append(
+                Message(op.value, proc.yield_clock + 1 if self._timing else 0)
+            )
+            chan.messages_carried += 1
+            if len(queue) > chan.max_occupancy:
+                chan.max_occupancy = len(queue)
+            slot.done = True
+            if chan.waiting_receivers:
+                self._drain_receivers(chan)
+            ready.append(proc)
+            return
+        # park: only now does anyone else read the slot's op (the drain
+        # sweeps take the value from it; the deadlock report names it)
+        slot.op = op
+        slot.done = False
+        chan.waiting_senders.append((proc, slot))
+
+    def _single_recv(self, proc: _ProcState, op) -> None:
+        """Inlined ``_try_recv`` + park for a bare ``Recv``."""
+        proc.single = True
+        proc.is_send = False
+        proc.par1 = False
+        slot = proc.own_slot
+        proc.slots = proc.own_list
+        chan: Channel = op.channel
+        ready = self._ready
+        queue = chan.queue
+        if queue:
+            msg = queue.popleft()
+            slot.done = True
+            slot.result = msg.value
+            if self._timing and msg.timestamp > proc.clock:
+                proc.clock = msg.timestamp
+            if chan.waiting_senders:
+                self._drain_senders(chan)
+            ready.append(proc)
+            return
+        waiting = chan.waiting_senders
+        while waiting:
+            other, sslot = waiting.popleft()
+            if sslot.done:
+                continue
+            # rendezvous: take the value straight from the parked sender
+            sslot.done = True
+            slot.done = True
+            slot.result = sslot.op.value
+            chan.messages_carried += 1
+            if self._timing:
+                stamp = other.yield_clock + 1
+                if stamp > proc.clock:
+                    proc.clock = stamp
+            # inlined _maybe_wake, as in _single_send
+            if other.single:
+                ready.append(other)
+            elif other.slots is not None:
+                pending = other.pending - 1
+                other.pending = pending
+                if pending == 0:
+                    ready.append(other)
+            ready.append(proc)
+            return
+        slot.op = op
+        slot.done = False
+        slot.result = None
+        chan.waiting_receivers.append((proc, slot))
+
+    def _fast_par(self, proc: _ProcState, ops) -> None:
+        """Multi-member ``Par`` on the fast engine.
+
+        Same dispatch-then-park order as the generic slot path (identical
+        interleaving), but the slot vector is reused across requests (the
+        Par analogue of ``own_slot`` -- every slot is completed and
+        unparked before the process resumes, so no live reference remains),
+        the per-sub-op dispatch is a class test instead of ``isinstance``,
+        and completion is tracked by the ``pending`` counter consumed in
+        :meth:`_maybe_wake` instead of ``all(slot.done)`` scans.
+        """
+        k = len(ops)
+        slots = proc.par_slots
+        if slots is None or len(slots) != k:
+            slots = proc.par_slots = [_Slot(None) for _ in range(k)]
+        proc.single = False
+        proc.was_par = True
+        proc.slots = slots
+        pending = 0
+        for i, sub in enumerate(ops):
+            slot = slots[i]
+            slot.op = sub
+            slot.done = False
+            slot.result = None
+            if sub.__class__ is Send:
+                if not self._try_send(proc, slot):
+                    pending += 1
+            elif not self._try_recv(proc, slot):
+                pending += 1
+        if pending == 0:
+            proc.pending = 0
+            self._ready.append(proc)
+            return
+        proc.pending = pending
+        for slot in slots:
+            if slot.done:
+                continue
+            chan: Channel = slot.op.channel
+            if slot.op.__class__ is Send:
+                chan.waiting_senders.append((proc, slot))
+            else:
+                chan.waiting_receivers.append((proc, slot))
 
     # ------------------------------------------------------------------
     # main loop
@@ -229,11 +478,75 @@ class Scheduler:
             return
         proc.steps += 1
         proc.yield_clock = proc.clock
+        if self._fast:
+            tp = op.__class__
+            if tp is Send:
+                self._single_send(proc, op)
+                return
+            if tp is Recv:
+                self._single_recv(proc, op)
+                return
+        self._request_generic(proc, op)
+
+    def _advance_single(self, proc: _ProcState, value: Any) -> None:
+        """:meth:`_advance` for plan-declared single-op processes: the fast
+        engine's dispatch is hoisted -- a bare ``Send``/``Recv`` goes
+        straight to its inlined transition, anything else (a mis-declared
+        ``Par``, an invalid yield) falls back to the generic handler with
+        identical semantics."""
+        try:
+            op = proc.gen.send(value)
+        except StopIteration:
+            proc.finished = True
+            return
+        proc.steps += 1
+        proc.yield_clock = proc.clock
+        tp = op.__class__
+        if tp is Send:
+            self._single_send(proc, op)
+        elif tp is Recv:
+            self._single_recv(proc, op)
+        else:
+            self._request_generic(proc, op)
+
+    def _request_generic(self, proc: _ProcState, op: Any) -> None:
+        """The generic slot-based request path (every ``Par``, and every
+        request when the fast engine is disabled)."""
         if isinstance(op, Par):
+            ops = op.ops
+            if not ops:
+                raise RuntimeSimulationError(
+                    f"process {proc.name} yielded an empty Par: a parallel "
+                    "request needs at least one Send/Recv"
+                )
+            for sub in ops:
+                if not isinstance(sub, (Send, Recv)):
+                    raise RuntimeSimulationError(
+                        f"process {proc.name} yielded Par containing {sub!r}; "
+                        "every Par member must be a Send or Recv"
+                    )
+            if self._fast:
+                if len(ops) == 1:
+                    # a one-member Par is a bare op that resumes with a
+                    # one-element list and traces as "par": ride the
+                    # single-op machinery (same completion/park/wake order,
+                    # so the interleaving is unchanged) and mark it for
+                    # list-wrapping
+                    sub = ops[0]
+                    if sub.__class__ is Send:
+                        self._single_send(proc, sub)
+                    else:
+                        self._single_recv(proc, sub)
+                    proc.par1 = True
+                else:
+                    self._fast_par(proc, ops)
+                return
             proc.was_par = True
-            slots = [_Slot(sub) for sub in op.ops]
+            proc.single = False
+            slots = [_Slot(sub) for sub in ops]
         elif isinstance(op, (Send, Recv)):
             proc.was_par = False
+            proc.single = False
             slot = proc.own_slot
             slot.op = op
             slot.done = False
@@ -270,33 +583,85 @@ class Scheduler:
         deadlock detection and the FIFO interleaving are unchanged, but the
         returned stats carry zero makespan / per-process clocks.  Use it
         when only the computed values matter (differential checks).
+
+        A scheduler runs exactly once: generators are consumed and channel
+        state is final, so a second call raises
+        :class:`RuntimeSimulationError` instead of silently returning fresh
+        zero-round stats computed from stale state.  Instantiate a new
+        network (``NetworkPlan.instantiate``) to execute again.
         """
+        if self._ran:
+            raise RuntimeSimulationError(
+                "scheduler already ran: processes are exhausted and channel "
+                "state is final; instantiate a fresh network to run again"
+            )
+        self._ran = True
+        if self._worker_of is not None:
+            missing = sorted(self._names - set(self._worker_of))
+            if missing:
+                shown = ", ".join(missing[:10])
+                if len(missing) > 10:
+                    shown += f", ... and {len(missing) - 10} more"
+                raise RuntimeSimulationError(
+                    f"worker assignment leaves {len(missing)} spawned "
+                    f"process(es) uncovered: {shown}"
+                )
         self._timing = timing
         trace = self._trace
+        ready = self._ready
+        worker_of = self._worker_of
+        worker_clock = self._worker_clock
         rounds = 0
         for proc in self._procs:
-            self._advance(proc, None)
-        while self._ready:
+            proc.advance(proc, None)
+        while ready:
             rounds += 1
             if max_rounds is not None and rounds > max_rounds:
                 raise RuntimeSimulationError(f"exceeded {max_rounds} scheduler rounds")
-            proc = self._ready.popleft()
+            proc = ready.popleft()
             if proc.finished or proc.slots is None:
                 continue
-            if not all(s.done for s in proc.slots):
+            if proc.single:
+                slot = proc.own_slot
+                if not slot.done:
+                    raise RuntimeSimulationError(
+                        f"process {proc.name} resumed with incomplete request"
+                    )
+                proc.slots = None
+                if timing:
+                    if worker_of is None:
+                        proc.clock += 1
+                    else:
+                        self._charge_worker(proc, worker_of, worker_clock)
+                value = slot.result
+                if proc.par1:
+                    value = [value]
+                if trace is not None:
+                    trace(
+                        proc.name,
+                        proc.clock,
+                        "par"
+                        if proc.par1
+                        else ("send" if proc.is_send else "recv"),
+                    )
+                proc.advance(proc, value)
+                continue
+            if self._fast:
+                if proc.pending:
+                    raise RuntimeSimulationError(
+                        f"process {proc.name} resumed with incomplete request"
+                    )
+            elif not all(s.done for s in proc.slots):
                 raise RuntimeSimulationError(
                     f"process {proc.name} resumed with incomplete request"
                 )
             slots = proc.slots
             proc.slots = None
             if timing:
-                if self._worker_of is not None and proc.name in self._worker_of:
-                    worker = self._worker_of[proc.name]
-                    busy_until = self._worker_clock.get(worker, 0)
-                    proc.clock = max(proc.clock, busy_until) + 1
-                    self._worker_clock[worker] = proc.clock
-                else:
+                if worker_of is None:
                     proc.clock += 1
+                else:
+                    self._charge_worker(proc, worker_of, worker_clock)
             value = [s.result for s in slots] if proc.was_par else slots[0].result
             if trace is not None:
                 kind = (
@@ -305,7 +670,7 @@ class Scheduler:
                     else ("send" if isinstance(slots[0].op, Send) else "recv")
                 )
                 trace(proc.name, proc.clock, kind)
-            self._advance(proc, value)
+            proc.advance(proc, value)
         unfinished = [p for p in self._procs if not p.finished]
         if unfinished:
             raise DeadlockError(self._deadlock_report(unfinished))
@@ -319,6 +684,19 @@ class Scheduler:
         }
         stats.total_messages = sum(stats.per_channel_messages.values())
         return stats
+
+    @staticmethod
+    def _charge_worker(
+        proc: _ProcState, worker_of: dict[str, int], worker_clock: dict[int, int]
+    ) -> None:
+        """Serialize the resume tick through the process's physical worker.
+
+        ``run()`` validated coverage up front, so the lookup cannot miss.
+        """
+        worker = worker_of[proc.name]
+        busy_until = worker_clock.get(worker, 0)
+        proc.clock = max(proc.clock, busy_until) + 1
+        worker_clock[worker] = proc.clock
 
     def _deadlock_report(self, unfinished: list[_ProcState]) -> str:
         lines = [f"deadlock: {len(unfinished)} process(es) cannot progress"]

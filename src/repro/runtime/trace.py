@@ -111,8 +111,12 @@ def attach_tracer(network) -> Trace:
 def trace_run(network, max_rounds: int | None = None) -> tuple[SchedulerStats, Trace]:
     """Run a :class:`ProcessNetwork` with tracing attached.
 
-    Calling this twice on one network re-attaches cleanly (see
-    :func:`attach_tracer`) instead of double-counting events.
+    A network runs exactly once (see :meth:`Scheduler.run`): a second
+    ``trace_run`` on the same network raises
+    :class:`~repro.util.errors.RuntimeSimulationError` instead of silently
+    returning an empty trace from exhausted generators.  Repeat
+    :func:`attach_tracer` *before* the run is still fine -- attaching is
+    idempotent.
     """
     trace = attach_tracer(network)
     stats = network.run(max_rounds=max_rounds)

@@ -95,13 +95,15 @@ class TestInstrumentationIdempotence:
     def test_trace_run_twice_on_one_network(self):
         sp, prog, inputs, oracle, n = setup_design()
         net = build_network(sp, {"n": n}, inputs)
-        _, trace1 = trace_run(net)
+        stats1, trace1 = trace_run(net)
         count = len(trace1.events)
-        # a second trace_run re-instruments cleanly; the exhausted
-        # generators simply produce no further events (not 2x events)
-        _, trace2 = trace_run(net)
+        # a network runs exactly once: a second trace_run raises instead of
+        # silently returning an empty trace from exhausted generators
+        with pytest.raises(RuntimeSimulationError, match="already ran"):
+            trace_run(net)
+        # the failed re-entry leaves the first run's results untouched
         assert len(trace1.events) == count
-        assert trace2.events == []
+        assert stats1.scheduler_rounds > 0
 
     def test_attach_then_trace_run_counts_once(self):
         sp, prog, inputs, oracle, n = setup_design(idx=1)

@@ -133,7 +133,7 @@ def main(argv=None) -> int:
     parser.add_argument("--check", action="store_true",
                         help="fail unless clean campaign + planted bug "
                              "shrunk to <= 2 loops")
-    parser.add_argument("--min-instances-per-s", type=float, default=25.0,
+    parser.add_argument("--min-instances-per-s", type=float, default=30.0,
                         metavar="RATE",
                         help="with --check, fail if warm campaign throughput "
                              "drops below this floor (default: %(default)s)")

@@ -1,0 +1,201 @@
+#!/usr/bin/env python3
+"""Benchmark the scheduler's fast single-op engine against the generic one.
+
+Runs the D.1 paper design at a fixed problem size through the coroutine
+simulator under both scheduler engines (``REPRO_SCHED_FAST`` A/B): the
+network plan is pre-built and each instantiation happens outside the timer,
+so the measurement isolates ``Scheduler.run`` -- the loop the fast engine
+specializes.  Writes ``BENCH_sched.json`` at the repository root.
+
+The identity section re-runs one traced pair and requires bit-identical
+final values, ``SchedulerStats``, and trace event streams, plus identical
+deadlock report text on a hand-planted deadlock -- the same bar the fuzz
+harness's sampled ``sched_ab`` check enforces campaign-wide.
+
+Usage:
+    PYTHONPATH=src python tools/bench_sched.py [--check] [-o OUT.json]
+        [--size N] [--repeats N] [--min-speedup X]
+
+``--check`` exits non-zero unless the A/B identity holds AND the fast
+engine is at least ``--min-speedup`` (default 1.5) times the generic one.
+"""
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import pathlib
+import sys
+import time
+from contextlib import contextmanager
+
+_ROOT = pathlib.Path(__file__).resolve().parent.parent
+if str(_ROOT) not in sys.path:
+    sys.path.insert(0, str(_ROOT))
+sys.path.insert(0, str(_ROOT / "src"))
+
+from repro import compile_systolic
+from repro.runtime.network import network_plan
+from repro.runtime.trace import attach_tracer
+from repro.systolic import all_paper_designs
+from repro.util.errors import DeadlockError
+from repro.verify import random_inputs
+
+
+@contextmanager
+def _engine(flag: str):
+    prior = os.environ.get("REPRO_SCHED_FAST")
+    os.environ["REPRO_SCHED_FAST"] = flag
+    try:
+        yield
+    finally:
+        if prior is None:
+            os.environ.pop("REPRO_SCHED_FAST", None)
+        else:
+            os.environ["REPRO_SCHED_FAST"] = prior
+
+
+def _setup(n: int):
+    exp_id, prog, array = all_paper_designs()[0]  # D1: polyprod, place=(i)
+    sp = compile_systolic(prog, array)
+    inputs = random_inputs(prog, {"n": n}, seed=0)
+    plan = network_plan(sp, {"n": n})
+    return exp_id, plan, inputs
+
+
+def _time_runs(plan, inputs, flag: str, repeats: int) -> tuple[float, object]:
+    """Best-of-N ``run()`` wall-clock under one engine (instantiate untimed)."""
+    best = float("inf")
+    stats = None
+    for _ in range(repeats):
+        with _engine(flag):
+            network = plan.instantiate(inputs)
+        t0 = time.perf_counter()
+        stats = network.run()
+        dt = time.perf_counter() - t0
+        best = min(best, dt)
+    return best, stats
+
+
+def _traced(plan, inputs, flag: str):
+    with _engine(flag):
+        network = plan.instantiate(inputs)
+    trace = attach_tracer(network)
+    stats = network.run()
+    return network.host.final, stats, trace.events
+
+
+def _deadlock_report(flag: str) -> str:
+    """Report text of a fixed two-process deadlock under one engine."""
+    from repro.runtime import Channel, Par, Recv, Scheduler, Send
+
+    with _engine(flag):
+        sched = Scheduler()
+        c1 = sched.add_channel(Channel("c1"))
+        c2 = sched.add_channel(Channel("c2"))
+
+        def starved():
+            yield Recv(c1)
+
+        def stuck():
+            yield Par([Send(c2, 1), Recv(c1)])
+
+        sched.spawn("starved", starved(), single_op=True)
+        sched.spawn("stuck", stuck())
+    try:
+        sched.run()
+    except DeadlockError as exc:
+        return str(exc)
+    return "NO DEADLOCK"
+
+
+def check_identity(plan, inputs) -> dict:
+    fast = _traced(plan, inputs, "1")
+    generic = _traced(plan, inputs, "0")
+    report_fast = _deadlock_report("1")
+    report_generic = _deadlock_report("0")
+    return {
+        "values_identical": fast[0] == generic[0],
+        "stats_identical": fast[1] == generic[1],
+        "trace_identical": fast[2] == generic[2],
+        "trace_events": len(fast[2]),
+        "deadlock_report_identical": (
+            report_fast == report_generic and report_fast != "NO DEADLOCK"
+        ),
+        "makespan": fast[1].makespan,
+        "scheduler_rounds": fast[1].scheduler_rounds,
+        "total_messages": fast[1].total_messages,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--check", action="store_true",
+                        help="fail unless A/B identity holds and the fast "
+                             "engine meets the --min-speedup floor")
+    parser.add_argument("--min-speedup", type=float, default=1.5,
+                        metavar="X",
+                        help="with --check, required fast/generic run() "
+                             "speedup (default: %(default)s)")
+    parser.add_argument("--size", type=int, default=48, metavar="N",
+                        help="problem size for the D.1 run (default: %(default)s)")
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="timed repetitions per engine; best is reported "
+                             "(default: %(default)s)")
+    parser.add_argument("-o", "--output",
+                        default=str(_ROOT / "BENCH_sched.json"))
+    args = parser.parse_args(argv)
+
+    exp_id, plan, inputs = _setup(args.size)
+
+    # warm both engines once (generator bodies, interning, attribute caches)
+    _time_runs(plan, inputs, "1", 1)
+    _time_runs(plan, inputs, "0", 1)
+
+    fast_s, fast_stats = _time_runs(plan, inputs, "1", args.repeats)
+    generic_s, generic_stats = _time_runs(plan, inputs, "0", args.repeats)
+    speedup = generic_s / fast_s if fast_s > 0 else float("inf")
+
+    identity = check_identity(plan, inputs)
+    identity["timed_stats_identical"] = fast_stats == generic_stats
+
+    print(f"{exp_id} n={args.size}: "
+          f"{identity['scheduler_rounds']} resumes, "
+          f"{identity['total_messages']} messages")
+    print(f"  fast engine    {fast_s * 1000:8.2f} ms  (best of {args.repeats})")
+    print(f"  generic engine {generic_s * 1000:8.2f} ms")
+    print(f"  speedup        {speedup:8.2f} x")
+    flat = all(v for k, v in identity.items() if k.endswith("identical"))
+    print(f"  A/B identity   {'OK' if flat else 'BROKEN'}")
+
+    report = {
+        "units": "seconds",
+        "design": exp_id,
+        "n": args.size,
+        "repeats": args.repeats,
+        "fast_s": round(fast_s, 6),
+        "generic_s": round(generic_s, 6),
+        "speedup": round(speedup, 3),
+        "identity": identity,
+    }
+    out = pathlib.Path(args.output)
+    out.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {out}")
+
+    if args.check:
+        broken = [k for k, v in identity.items()
+                  if k.endswith("identical") and not v]
+        if broken:
+            print(f"FAIL: A/B identity broken: {broken}", file=sys.stderr)
+            return 1
+        if speedup < args.min_speedup:
+            print(f"FAIL: fast engine speedup {speedup:.2f}x below the "
+                  f"{args.min_speedup}x floor", file=sys.stderr)
+            return 1
+        print(f"check passed: {speedup:.2f}x speedup "
+              f"(floor {args.min_speedup}x) with full A/B identity")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
